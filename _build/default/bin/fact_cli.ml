@@ -1,0 +1,235 @@
+(* fact — command-line interface to the FACT library.
+
+   Subcommands:
+     analyze   classify an adversary, print its agreement function
+     affine    build the affine task R_A and print statistics
+     run       execute Algorithm 1 under a random alpha-model schedule
+     solve     decide k-set-consensus solvability from R_A iterations
+     chr       print statistics of Chr^m s
+
+   Adversaries are given either by a preset name
+   (wait-free | t-res:T | k-of:K | fig5b) or as explicit live sets,
+   e.g. --live 0,1 --live 2. *)
+
+open Cmdliner
+open Fact_core.Fact
+
+let pf = Format.printf
+
+(* ----------------------------- adversary argument ----------------- *)
+
+let parse_live s =
+  try
+    Ok
+      (Pset.of_list
+         (List.map int_of_string
+            (String.split_on_char ',' (String.trim s))))
+  with Failure _ -> Error (`Msg (Printf.sprintf "bad live set %S" s))
+
+let live_conv = Arg.conv (parse_live, fun ppf p -> Pset.pp ppf p)
+
+let adversary_of ~n ~preset ~live_sets =
+  match (preset, live_sets) with
+  | Some p, [] ->
+    (match String.split_on_char ':' p with
+    | [ "wait-free" ] -> Adversary.wait_free n
+    | [ "fig5b" ] -> Adversary.fig5b
+    | [ "t-res"; t ] -> Adversary.t_resilient ~n ~t:(int_of_string t)
+    | [ "k-of"; k ] -> Adversary.k_obstruction_free ~n ~k:(int_of_string k)
+    | _ -> failwith (Printf.sprintf "unknown preset %S" p))
+  | None, (_ :: _ as ls) -> Adversary.make ~n ls
+  | Some _, _ :: _ -> failwith "give either --preset or --live, not both"
+  | None, [] -> failwith "give an adversary: --preset or --live"
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.")
+
+let preset_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "preset" ] ~docv:"NAME"
+        ~doc:"Adversary preset: wait-free | t-res:T | k-of:K | fig5b.")
+
+let live_arg =
+  Arg.(
+    value & opt_all live_conv []
+    & info [ "live" ] ~docv:"P,Q,..."
+        ~doc:"A live set, as comma-separated process ids (repeatable).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let with_adversary f n preset live_sets =
+  match adversary_of ~n ~preset ~live_sets with
+  | adv -> f n adv
+  | exception Failure msg | exception Invalid_argument msg ->
+    prerr_endline ("fact: " ^ msg);
+    exit 2
+
+(* ----------------------------- analyze ---------------------------- *)
+
+let analyze n adv =
+  pf "adversary: %a@." Adversary.pp adv;
+  let c = classify adv in
+  pf "superset-closed: %b@.symmetric: %b@.fair: %b@." c.superset_closed
+    c.symmetric c.fair;
+  pf "agreement power (setcon): %d@." c.agreement_power;
+  pf "minimal hitting set size (csize): %d@."
+    (Hitting.csize (Adversary.live_sets adv));
+  let alpha = Agreement.of_adversary adv in
+  pf "agreement function:@.";
+  List.iter
+    (fun p -> pf "  alpha(%a) = %d@." Pset.pp p (Agreement.eval alpha p))
+    (Pset.nonempty_subsets (Pset.full n));
+  if not c.fair then begin
+    pf "fairness violations:@.";
+    List.iter
+      (fun (p, q, got, expected) ->
+        pf "  P=%a Q=%a setcon(A|P,Q)=%d expected %d@." Pset.pp p Pset.pp q
+          got expected)
+      (Fairness.violations adv)
+  end
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Classify an adversary (Figure 2).")
+    Term.(const (with_adversary analyze) $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- affine ----------------------------- *)
+
+let affine n adv =
+  ignore n;
+  let task = affine_task_of_adversary adv in
+  pf "R_A: %a@." Affine_task.pp_stats task;
+  let c = Affine_task.complex task in
+  pf "simplices: %d  euler characteristic: %d@." (Complex.simplex_count c)
+    (Complex.euler_characteristic c);
+  pf "volume fraction of |Chr^2 s|: %.4f@." (Geometry.total_volume c);
+  pf "link-connected: %b@." (Link.is_link_connected c);
+  List.iter
+    (fun p ->
+      let d = Affine_task.delta task p in
+      pf "  delta(%a): %d facets@." Pset.pp p (Complex.facet_count d))
+    (Pset.nonempty_subsets (Pset.full (Adversary.n adv)))
+
+let affine_cmd =
+  Cmd.v
+    (Cmd.info "affine" ~doc:"Build the affine task R_A (Definition 9).")
+    Term.(const (with_adversary affine) $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- run -------------------------------- *)
+
+let run_alg1 seed n adv =
+  let alpha = Agreement.of_adversary adv in
+  let participation = Pset.full n in
+  if Agreement.eval alpha participation < 1 then begin
+    prerr_endline "fact: alpha(full participation) = 0, no alpha-model run";
+    exit 2
+  end;
+  let schedule = Schedule.alpha_model ~seed alpha ~participation in
+  pf "faulty processes: %a@." Pset.pp (Schedule.faulty schedule);
+  let report = Algorithm1.run alpha ~schedule in
+  Array.iteri
+    (fun pid outcome ->
+      match outcome with
+      | Exec.Decided o ->
+        pf "p%d: View1=%a View2={%a}@." pid Pset.pp o.Algorithm1.view1
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+             (fun ppf (j, v1) -> Format.fprintf ppf "p%d:%a" j Pset.pp v1))
+          o.Algorithm1.view2
+      | Exec.Crashed k -> pf "p%d: crashed after %d steps@." pid k
+      | Exec.Running -> pf "p%d: still running@." pid)
+    report.Exec.outcomes;
+  match List.map snd (Exec.decided report) with
+  | [] -> pf "nobody decided@."
+  | outputs ->
+    let sigma = Algorithm1.simplex_of_outputs outputs in
+    let ra = affine_task_of_adversary adv in
+    pf "output simplex lands in R_A: %b (total steps %d)@."
+      (Complex.mem sigma (Affine_task.complex ra))
+      report.Exec.steps
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute Algorithm 1 under a random alpha-model schedule.")
+    Term.(
+      const (fun seed n preset live ->
+          with_adversary (run_alg1 seed) n preset live)
+      $ seed_arg $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- solve ------------------------------ *)
+
+let solve k n adv =
+  let power = Setcon.setcon adv in
+  pf "agreement power: %d; deciding %d-set consensus...@." power k;
+  let t =
+    Set_consensus.task_fixed ~n ~k ~inputs:(List.init n (fun i -> i))
+  in
+  let ra = affine_task_of_adversary adv in
+  match
+    Solver.solve ~protocol:(Affine_task.apply ra t.Task.inputs) ~task:t
+  with
+  | Solver.Solvable _ ->
+    pf "solvable from one iteration of R_A (map found and certified)@."
+  | Solver.Unsolvable ->
+    pf "no simplicial map from R_A^1 (consistent with setcon = %d)@." power
+
+let solve_cmd =
+  let k_arg =
+    Arg.(value & opt int 1 & info [ "k" ] ~doc:"Set-consensus parameter k.")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Decide k-set-consensus solvability from R_A (Theorem 16).")
+    Term.(
+      const (fun k n preset live -> with_adversary (solve k) n preset live)
+      $ k_arg $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- chr -------------------------------- *)
+
+let chr n m =
+  let c = Chr.iterate m (Chr.standard n) in
+  pf "Chr^%d s (n=%d): %a@." m n Complex.pp_stats c;
+  pf "simplices: %d  euler characteristic: %d@." (Complex.simplex_count c)
+    (Complex.euler_characteristic c)
+
+let chr_cmd =
+  let m_arg =
+    Arg.(value & opt int 1 & info [ "m" ] ~doc:"Subdivision iterations.")
+  in
+  Cmd.v
+    (Cmd.info "chr" ~doc:"Statistics of the iterated chromatic subdivision.")
+    Term.(const chr $ n_arg $ m_arg)
+
+(* ----------------------------- census ----------------------------- *)
+
+let census_run n =
+  if n > 4 then begin
+    prerr_endline "fact: census is exhaustive; n <= 4 only";
+    exit 2
+  end;
+  pf "census over all adversaries, n=%d:@." n;
+  pf "%a@." Census.pp (Census.exhaustive ~n);
+  pf "fair task-computability classes: %d@."
+    (Census.fair_computability_classes ~n)
+
+let census_cmd =
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Classify every adversary over n processes (quantified Figure 2).")
+    Term.(const census_run $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "fact" ~version:"1.0.0"
+      ~doc:
+        "Affine tasks for fair adversaries (Kuznetsov, Rieutord, He, PODC \
+         2018) — executable."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd; census_cmd ]))

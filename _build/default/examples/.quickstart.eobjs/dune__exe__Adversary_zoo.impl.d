@@ -1,0 +1,1 @@
+examples/adversary_zoo.ml: Adversary Affine_task Complex Fact_core Fairness Format Hitting List Pset

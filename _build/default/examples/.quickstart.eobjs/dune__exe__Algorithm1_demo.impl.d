@@ -1,0 +1,1 @@
+examples/algorithm1_demo.ml: Adversary Affine_task Agreement Algorithm1 Array Complex Exec Fact_core Format List Printf Pset Schedule

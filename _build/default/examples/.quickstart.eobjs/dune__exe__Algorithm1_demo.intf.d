@@ -1,0 +1,1 @@
+examples/algorithm1_demo.mli:

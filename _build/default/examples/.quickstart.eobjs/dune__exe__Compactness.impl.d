@@ -1,0 +1,1 @@
+examples/compactness.ml: Adversary Affine_task Fact_core Format List Pset Set_consensus Solver Task

@@ -1,0 +1,1 @@
+examples/figures_export.ml: Adversary Agreement Array Chr Complex Contention Fact_core Filename Format Geometry List Printf Ra Rtres Simplex String Sys

@@ -1,0 +1,1 @@
+examples/figures_export.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adaptive_consensus Adversary Affine_runner Affine_task Agreement Algorithm1 Complex Exec Fact_core Format List Pset Schedule

@@ -1,0 +1,1 @@
+examples/set_consensus_demo.ml: Adaptive_consensus Adversary Affine_runner Agreement Fact_core Format List Pset

@@ -1,0 +1,62 @@
+(* Compactness of affine models (Section 1, "Compact models").
+
+   Two demonstrations:
+
+   1. Non-compactness of adversarial models: every finite prefix of the
+      infinite solo run of p0 complies with the 1-resilient 3-process
+      model (it extends to a run with >= 2 correct processes), yet the
+      run itself — with correct set {p0} — is not in the model.
+
+   2. Compactness pays off: any task solvable in the affine model R_A*
+      is solvable in a bounded number of iterations (König's lemma);
+      the solver exhibits the bound ℓ for k-set consensus.
+
+   Run with: dune exec examples/compactness.exe *)
+
+open Fact_core.Fact
+
+let pf = Format.printf
+
+let () =
+  let n = 3 in
+  let adv = Adversary.t_resilient ~n ~t:1 in
+
+  (* 1. The solo run and its prefixes. *)
+  pf "1-resilient model, n=3. Live sets: %a@." Adversary.pp adv;
+  let solo_correct = Pset.of_list [ 0 ] in
+  pf "Infinite solo run of p0: correct set %a is live: %b -> run NOT in model@."
+    Pset.pp solo_correct
+    (Adversary.is_live solo_correct adv);
+  List.iter
+    (fun k ->
+      (* A k-step prefix of the solo run extends to a run where p1 and
+         p2 wake up and run forever: correct set {p0,p1,p2} is live. *)
+      pf "  %3d-step prefix: extendable with correct set %a (live: %b) -> complies@."
+        k Pset.pp (Pset.full n)
+        (Adversary.is_live (Pset.full n) adv))
+    [ 1; 10; 100; 1000 ];
+  pf "Every prefix complies, the limit does not: the model is not compact.@.";
+
+  (* 2. Affine models are compact: solvability is witnessed at a finite
+     iteration count. *)
+  let ra = affine_task_of_adversary adv in
+  pf "@.R_A for 1-resilience: %a@." Affine_task.pp_stats ra;
+  let t = Set_consensus.task_fixed ~n ~k:2 ~inputs:[ 0; 1; 2 ] in
+  (match
+     Solver.solvable_by_iteration
+       ~task_of_round:(fun r ->
+         Affine_task.apply (Affine_task.iterate ra r) t.Task.inputs)
+       ~task:t ~max_rounds:2
+   with
+  | Some ell ->
+    pf "2-set consensus solvable from R_A^%d — a finite certificate.@." ell
+  | None -> pf "no map found within the bound (unexpected)@.");
+  let c = Set_consensus.task_fixed ~n ~k:1 ~inputs:[ 0; 1; 2 ] in
+  (match
+     Solver.solve
+       ~protocol:(Affine_task.apply ra c.Task.inputs)
+       ~task:c
+   with
+  | Solver.Unsolvable ->
+    pf "consensus admits no map from R_A^1 (agreement power is 2).@."
+  | Solver.Solvable _ -> pf "unexpected: consensus solved@.")

@@ -1,0 +1,63 @@
+(* Export the paper's 2-dimensional figures as plottable data.
+
+   Writes TSV files under ./figures/ with the geometric realization
+   (Appendix A coordinates, projected to the plane) of:
+
+     fig1a  Chr s                      (standard chromatic subdivision)
+     fig4c  the 2-contention complex   (edges + triangles of Cont2)
+     fig7a  R_A for 1-obstruction-freedom
+     fig7b  R_A for the fig5b adversary
+
+   Each file has one line per facet: the facet's vertices as
+   "x,y" pairs (corner p0 at (0,0), p1 at (1,0), p2 at (0.5, sqrt3/2)).
+   Any plotting tool can re-draw the paper's figures from these files.
+
+   Run with: dune exec examples/figures_export.exe *)
+
+open Fact_core.Fact
+
+let corners = [| (0.0, 0.0); (1.0, 0.0); (0.5, sqrt 3.0 /. 2.0) |]
+
+let planar v =
+  let c = Geometry.coords ~n:3 v in
+  let x = ref 0.0 and y = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      let cx, cy = corners.(i) in
+      x := !x +. (w *. cx);
+      y := !y +. (w *. cy))
+    c;
+  (!x, !y)
+
+let export name facets =
+  let dir = "figures" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".tsv") in
+  let oc = open_out path in
+  List.iter
+    (fun f ->
+      let cells =
+        List.map
+          (fun v ->
+            let x, y = planar v in
+            Printf.sprintf "%.6f,%.6f" x y)
+          (Simplex.vertices f)
+      in
+      output_string oc (String.concat "\t" cells);
+      output_char oc '\n')
+    facets;
+  close_out oc;
+  Format.printf "wrote %s (%d facets)@." path (List.length facets)
+
+let () =
+  let chr1 = Chr.subdivide (Chr.standard 3) in
+  let chr2 = Chr.subdivide chr1 in
+  export "fig1a_chr" (Complex.facets chr1);
+  let cont = Contention.complex chr2 in
+  export "fig4c_cont2"
+    (List.filter (fun s -> Simplex.dim s >= 1) (Complex.all_simplices cont));
+  export "fig7a_ra_1of"
+    (Complex.facets (Ra.complex (Agreement.k_obstruction_free ~n:3 ~k:1) ~n:3));
+  export "fig7b_ra_fig5b"
+    (Complex.facets (Ra.complex (Agreement.of_adversary Adversary.fig5b) ~n:3));
+  export "fig1b_rtres" (Complex.facets (Rtres.complex ~n:3 ~t:1))

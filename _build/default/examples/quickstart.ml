@@ -1,0 +1,59 @@
+(* Quickstart: from an adversary to its affine task and a verified run.
+
+   Build a fair adversary, inspect its agreement function, construct
+   the affine task R_A (Definition 9), and execute Algorithm 1 under a
+   random α-model schedule, checking that the outputs land in R_A
+   (Theorem 7).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fact_core.Fact
+
+let pf = Format.printf
+
+let () =
+  let n = 3 in
+  (* The running example of Figures 5b/6b/7b: live sets {p1} and
+     {p0,p2}, plus all supersets. *)
+  let adv = Adversary.fig5b in
+  pf "Adversary: %a@." Adversary.pp adv;
+
+  (* 1. Classify it (Figure 2). *)
+  let c = classify adv in
+  pf "superset-closed=%b symmetric=%b fair=%b agreement power=%d@."
+    c.superset_closed c.symmetric c.fair c.agreement_power;
+
+  (* 2. Its agreement function α(P) = setcon(A|P). *)
+  let alpha = Agreement.of_adversary adv in
+  List.iter
+    (fun p -> pf "  alpha(%a) = %d@." Pset.pp p (Agreement.eval alpha p))
+    (Pset.nonempty_subsets (Pset.full n));
+
+  (* 3. The affine task R_A ⊆ Chr² s. *)
+  let ra = affine_task_of_adversary adv in
+  pf "R_A: %a@." Affine_task.pp_stats ra;
+
+  (* 4. Run Algorithm 1 in the α-model and verify Theorem 7. *)
+  let schedule = Schedule.alpha_model ~seed:42 alpha ~participation:(Pset.full n) in
+  let report = Algorithm1.run alpha ~schedule in
+  let outputs = List.map snd (Exec.decided report) in
+  pf "Algorithm 1 decided %d/%d processes in %d steps@."
+    (List.length outputs) n report.Exec.steps;
+  let sigma = Algorithm1.simplex_of_outputs outputs in
+  pf "outputs form a simplex of R_A: %b@."
+    (Complex.mem sigma (Affine_task.complex ra));
+
+  (* 5. One iteration of R_A* solves 2-set consensus (= its agreement
+     power) via the µ leader map. *)
+  let result =
+    Adaptive_consensus.solve ~task:ra ~alpha ~q:(Pset.full n)
+      ~proposals:(fun pid -> 100 + pid)
+      ~picker:(Affine_runner.random_picker ~seed:7)
+      ()
+  in
+  pf "set consensus decisions: %a (%d distinct <= %d)@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (p, v) -> Format.fprintf ppf "p%d->%d" p v))
+    result.Adaptive_consensus.decisions result.Adaptive_consensus.distinct
+    c.agreement_power

@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Fact_topology Format List Pset Set Stdlib

@@ -1,0 +1,1 @@
+lib/adversary/adversary.mli: Fact_topology Format Pset

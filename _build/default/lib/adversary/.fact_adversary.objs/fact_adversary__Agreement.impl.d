@@ -1,0 +1,1 @@
+lib/adversary/agreement.ml: Adversary Array Fact_topology Format List Pset Setcon

@@ -1,0 +1,1 @@
+lib/adversary/agreement.mli: Adversary Fact_topology Format Pset

@@ -1,0 +1,1 @@
+lib/adversary/census.ml: Adversary Bool Fact_topology Fairness Format Hashtbl List Option Pset Random Setcon Stdlib

@@ -1,0 +1,1 @@
+lib/adversary/census.mli: Format

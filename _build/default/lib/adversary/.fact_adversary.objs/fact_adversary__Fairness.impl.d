@@ -1,0 +1,1 @@
+lib/adversary/fairness.ml: Adversary Fact_topology List Pset Setcon

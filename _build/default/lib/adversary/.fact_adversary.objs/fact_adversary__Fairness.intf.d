@@ -1,0 +1,1 @@
+lib/adversary/fairness.mli: Adversary Fact_topology Pset

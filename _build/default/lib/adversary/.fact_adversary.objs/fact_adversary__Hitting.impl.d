@@ -1,0 +1,1 @@
+lib/adversary/hitting.ml: Fact_topology List Pset

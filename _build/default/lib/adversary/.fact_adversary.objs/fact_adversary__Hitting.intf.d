@@ -1,0 +1,1 @@
+lib/adversary/hitting.mli: Fact_topology Pset

@@ -1,0 +1,1 @@
+lib/adversary/setcon.ml: Adversary Fact_topology Hashtbl List Pset Stdlib

@@ -1,0 +1,1 @@
+lib/adversary/setcon.mli: Adversary Fact_topology Pset

@@ -1,0 +1,104 @@
+open Fact_topology
+
+module Pset_set = Set.Make (struct
+  type t = Pset.t
+
+  let compare = Pset.compare
+end)
+
+type t = { n : int; live : Pset_set.t }
+
+let make ~n live_sets =
+  let universe = Pset.full n in
+  let live =
+    List.fold_left
+      (fun acc s ->
+        if Pset.is_empty s then
+          invalid_arg "Adversary.make: empty live set";
+        if not (Pset.subset s universe) then
+          invalid_arg "Adversary.make: live set outside the universe";
+        Pset_set.add s acc)
+      Pset_set.empty live_sets
+  in
+  { n; live }
+
+let n t = t.n
+let live_sets t = Pset_set.elements t.live
+let is_live s t = Pset_set.mem s t.live
+let cardinal t = Pset_set.cardinal t.live
+let is_empty t = Pset_set.is_empty t.live
+let equal a b = a.n = b.n && Pset_set.equal a.live b.live
+
+let restrict t p =
+  { t with live = Pset_set.filter (fun s -> Pset.subset s p) t.live }
+
+let restrict2 t ~p ~q =
+  { t with
+    live =
+      Pset_set.filter
+        (fun s -> Pset.subset s p && not (Pset.disjoint s q))
+        t.live;
+  }
+
+let is_superset_closed t =
+  let universe = Pset.full t.n in
+  Pset_set.for_all
+    (fun s ->
+      Pset.for_all
+        (fun extra -> Pset.mem extra s || Pset_set.mem (Pset.add extra s) t.live)
+        universe)
+    t.live
+
+let is_symmetric t =
+  let sizes =
+    Pset_set.fold (fun s acc -> Pset.cardinal s :: acc) t.live []
+    |> List.sort_uniq Stdlib.compare
+  in
+  List.for_all
+    (fun k ->
+      List.for_all
+        (fun s -> Pset_set.mem s t.live)
+        (Pset.subsets_of_card k (Pset.full t.n)))
+    sizes
+
+let superset_closure t =
+  let universe = Pset.full t.n in
+  let live =
+    List.fold_left
+      (fun acc s ->
+        if Pset_set.exists (fun l -> Pset.subset l s) t.live then
+          Pset_set.add s acc
+        else acc)
+      Pset_set.empty
+      (Pset.nonempty_subsets universe)
+  in
+  { t with live }
+
+let of_sizes ~n sizes =
+  let universe = Pset.full n in
+  let live =
+    List.concat_map (fun k -> Pset.subsets_of_card k universe) sizes
+  in
+  make ~n live
+
+let wait_free n = of_sizes ~n (List.init n (fun i -> i + 1))
+
+let t_resilient ~n ~t =
+  if t < 0 || t >= n then invalid_arg "Adversary.t_resilient: need 0 <= t < n";
+  of_sizes ~n (List.init (t + 1) (fun i -> n - t + i))
+
+let k_obstruction_free ~n ~k =
+  if k < 1 || k > n then
+    invalid_arg "Adversary.k_obstruction_free: need 1 <= k <= n";
+  of_sizes ~n (List.init k (fun i -> i + 1))
+
+let fig5b =
+  let base = make ~n:3 [ Pset.singleton 1; Pset.of_list [ 0; 2 ] ] in
+  superset_closure base
+
+let pp ppf t =
+  Format.fprintf ppf "{n=%d; live=[%a]}" t.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Pset.pp)
+    (live_sets t)

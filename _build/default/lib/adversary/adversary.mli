@@ -1,0 +1,66 @@
+(** Adversaries: sets of live sets (Delporte et al. [9]).
+
+    An adversary [A] over [n] processes is a collection of nonempty
+    process subsets, its {e live sets}. An infinite run is A-compliant
+    if the set of correct processes of the run is a live set. *)
+
+open Fact_topology
+
+type t
+(** Immutable adversary over a fixed universe [0..n-1]. *)
+
+val make : n:int -> Pset.t list -> t
+(** Builds an adversary from its live sets. Empty live sets and live
+    sets outside the universe are rejected with [Invalid_argument].
+    Duplicates are merged. *)
+
+val n : t -> int
+val live_sets : t -> Pset.t list
+(** Live sets in increasing bitmask order. *)
+
+val is_live : Pset.t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+(** {1 Restrictions} *)
+
+val restrict : t -> Pset.t -> t
+(** [A|P]: live sets of [A] included in [P] (Section 3). *)
+
+val restrict2 : t -> p:Pset.t -> q:Pset.t -> t
+(** [A|P,Q = {S ∈ A : S ⊆ P ∧ S ∩ Q ≠ ∅}] (Definition of fairness). *)
+
+(** {1 Structural classes (Figure 2)} *)
+
+val is_superset_closed : t -> bool
+(** Every superset (within the universe) of a live set is live. *)
+
+val is_symmetric : t -> bool
+(** Membership depends only on the live set's size. *)
+
+val superset_closure : t -> t
+(** Smallest superset-closed adversary containing [A]. *)
+
+(** {1 Constructors for standard adversaries} *)
+
+val wait_free : int -> t
+(** All nonempty subsets: the wait-free adversary. *)
+
+val t_resilient : n:int -> t:int -> t
+(** Live sets of size ≥ n − t. *)
+
+val k_obstruction_free : n:int -> k:int -> t
+(** Live sets of size ≤ k (and ≥ 1): the k-obstruction-free /
+    k-concurrency adversary. *)
+
+val of_sizes : n:int -> int list -> t
+(** Symmetric adversary whose live sets are exactly the subsets whose
+    size appears in the list. *)
+
+val fig5b : t
+(** The running example of Figures 5b/6b/7b: live sets [{p1}] and
+    [{p0, p2}] plus all their supersets, for n = 3 (paper numbering
+    [{p2}], [{p1,p3}]; we use 0-based ids). *)
+
+val pp : Format.formatter -> t -> unit

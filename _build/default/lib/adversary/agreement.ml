@@ -1,0 +1,50 @@
+open Fact_topology
+
+type t = { n : int; table : int array }
+
+let of_fn ~n f =
+  let table = Array.init (1 lsl n) (fun m -> f (Pset.of_mask m)) in
+  { n; table }
+
+let of_adversary a =
+  let alpha = Setcon.alpha_fn a in
+  of_fn ~n:(Adversary.n a) alpha
+
+let n t = t.n
+let eval t p = t.table.(Pset.to_mask p)
+let equal a b = a.n = b.n && a.table = b.table
+
+let all_pairs n =
+  (* (P, P') with P ⊆ P' over the universe *)
+  let universe = Pset.full n in
+  List.concat_map
+    (fun p' -> List.map (fun p -> (p, p')) (Pset.subsets p'))
+    (Pset.subsets universe)
+
+let is_monotonic t =
+  List.for_all (fun (p, p') -> eval t p <= eval t p') (all_pairs t.n)
+
+let is_bounded_growth t =
+  List.for_all
+    (fun (p, p') -> eval t p' <= eval t p + Pset.cardinal (Pset.diff p' p))
+    (all_pairs t.n)
+
+let is_regular t = is_monotonic t && is_bounded_growth t
+
+let k_obstruction_free ~n ~k =
+  of_fn ~n (fun p -> min (Pset.cardinal p) k)
+
+let dominates f g =
+  f.n = g.n
+  && Array.for_all2 ( <= ) g.table f.table
+
+let equivalent f g = f.n = g.n && f.table = g.table
+
+let max_faulty t p =
+  let a = eval t p in
+  if a >= 1 then Some (a - 1) else None
+
+let pp ppf t =
+  Pset.subsets (Pset.full t.n)
+  |> List.iter (fun p ->
+         Format.fprintf ppf "alpha(%a) = %d@ " Pset.pp p (eval t p))

@@ -1,0 +1,90 @@
+open Fact_topology
+
+type counts = {
+  total : int;
+  superset_closed : int;
+  symmetric : int;
+  fair : int;
+  fair_only : int;
+  unfair : int;
+  by_setcon : (int * int) list;
+}
+
+let empty_counts =
+  {
+    total = 0;
+    superset_closed = 0;
+    symmetric = 0;
+    fair = 0;
+    fair_only = 0;
+    unfair = 0;
+    by_setcon = [];
+  }
+
+let bump_setcon table k =
+  let cur = Option.value ~default:0 (List.assoc_opt k table) in
+  (k, cur + 1) :: List.remove_assoc k table
+
+let add counts a =
+  let ssc = Adversary.is_superset_closed a in
+  let sym = Adversary.is_symmetric a in
+  let fair = Fairness.is_fair a in
+  {
+    total = counts.total + 1;
+    superset_closed = counts.superset_closed + Bool.to_int ssc;
+    symmetric = counts.symmetric + Bool.to_int sym;
+    fair = counts.fair + Bool.to_int fair;
+    fair_only = counts.fair_only + Bool.to_int (fair && (not ssc) && not sym);
+    unfair = counts.unfair + Bool.to_int (not fair);
+    by_setcon = bump_setcon counts.by_setcon (Setcon.setcon a);
+  }
+
+let adversary_of_bits ~n ~live_sets bits =
+  let live = List.filteri (fun i _ -> (bits lsr i) land 1 = 1) live_sets in
+  Adversary.make ~n live
+
+let exhaustive ~n =
+  let live_sets = Pset.nonempty_subsets (Pset.full n) in
+  let m = List.length live_sets in
+  let counts = ref empty_counts in
+  for bits = 1 to (1 lsl m) - 1 do
+    counts := add !counts (adversary_of_bits ~n ~live_sets bits)
+  done;
+  { !counts with by_setcon = List.sort Stdlib.compare !counts.by_setcon }
+
+let sampled ~n ~seed ~samples =
+  let live_sets = Pset.nonempty_subsets (Pset.full n) in
+  let m = List.length live_sets in
+  let st = Random.State.make [| seed; 0xce5 |] in
+  let counts = ref empty_counts in
+  let bound = (1 lsl m) - 1 in
+  for _ = 1 to samples do
+    let bits = 1 + Random.State.int st bound in
+    counts := add !counts (adversary_of_bits ~n ~live_sets bits)
+  done;
+  { !counts with by_setcon = List.sort Stdlib.compare !counts.by_setcon }
+
+let fair_computability_classes ~n =
+  let live_sets = Pset.nonempty_subsets (Pset.full n) in
+  let m = List.length live_sets in
+  let seen = Hashtbl.create 64 in
+  for bits = 1 to (1 lsl m) - 1 do
+    let a = adversary_of_bits ~n ~live_sets bits in
+    if Fairness.is_fair a then begin
+      let alpha = Setcon.alpha_fn a in
+      let signature =
+        List.map alpha (Pset.subsets (Pset.full n))
+      in
+      Hashtbl.replace seen signature ()
+    end
+  done;
+  Hashtbl.length seen
+
+let pp ppf c =
+  Format.fprintf ppf
+    "total=%d superset-closed=%d symmetric=%d fair=%d fair-only=%d unfair=%d@ setcon histogram: %a"
+    c.total c.superset_closed c.symmetric c.fair c.fair_only c.unfair
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (k, n) -> Format.fprintf ppf "%d:%d" k n))
+    c.by_setcon

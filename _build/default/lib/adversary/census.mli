@@ -1,0 +1,37 @@
+(** Census of adversary classes — quantifying Figure 2.
+
+    Figure 2 shows qualitative inclusions: t-resilient ⊆
+    superset-closed ⊆ fair and k-obstruction-free ⊆ symmetric ⊆ fair.
+    This module measures how big these classes actually are, by
+    classifying {e every} adversary over a small universe (every
+    nonempty collection of nonempty live sets), or a random sample for
+    larger universes. *)
+
+type counts = {
+  total : int;
+  superset_closed : int;
+  symmetric : int;
+  fair : int;
+  fair_only : int;
+      (** fair but neither superset-closed nor symmetric — the region
+          of Figure 2 that earlier characterizations missed *)
+  unfair : int;
+  by_setcon : (int * int) list;  (** (agreement power, #adversaries) *)
+}
+
+val exhaustive : n:int -> counts
+(** All [2^(2^n − 1) − 1] nonempty adversaries over [n] processes.
+    Practical for n ≤ 3 (127 adversaries); n = 4 has 32767 and takes a
+    while but remains feasible. *)
+
+val sampled : n:int -> seed:int -> samples:int -> counts
+(** Uniform random sample of nonempty adversaries. *)
+
+val fair_computability_classes : n:int -> int
+(** Number of distinct agreement functions among the fair adversaries
+    over [n] processes. By [24] (Theorems 1–2) two fair adversaries
+    with the same agreement function solve the same tasks, so this
+    counts the task-computability classes of the fair world —
+    equivalently, the distinct affine tasks [R_A] up to α. *)
+
+val pp : Format.formatter -> counts -> unit

@@ -1,0 +1,23 @@
+(** Fair adversaries (Definition 2, after [24]).
+
+    An adversary [A] is fair iff for all [Q ⊆ P ⊆ Π]:
+    [setcon (A|P,Q) = min (|Q|, setcon (A|P))] — a subset of the
+    participants cannot achieve better set consensus than the whole.
+    Superset-closed and symmetric adversaries are fair; not all
+    adversaries are. *)
+
+open Fact_topology
+
+val is_fair : Adversary.t -> bool
+(** Exhaustive check of Definition 2 over all pairs Q ⊆ P. *)
+
+val violations : Adversary.t -> (Pset.t * Pset.t * int * int) list
+(** All [(P, Q, setcon (A|P,Q), min (|Q|, setcon (A|P)))] with the two
+    values different. Empty iff the adversary is fair. *)
+
+val unfair_example : Adversary.t
+(** A concrete non-fair adversary (used in tests and the adversary
+    zoo): live sets [{p0,p1}], [{p2,p3}] and [{p0,p1,p2,p3}] over
+    n = 4. Its agreement power is 2, yet the coalition Q = [{p0,p1}]
+    inside full participation has [setcon (A|Π,Q) = 1 <
+    min(|Q|, setcon A)] — Definition 2 is violated. *)

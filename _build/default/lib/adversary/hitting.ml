@@ -1,0 +1,38 @@
+open Fact_topology
+
+let is_hitting_set h sets =
+  List.for_all (fun s -> not (Pset.disjoint h s)) sets
+
+(* Branch on an uncovered set: one of its elements must belong to any
+   hitting set. Prune with the current best. *)
+let minimum_hitting_set sets =
+  List.iter
+    (fun s ->
+      if Pset.is_empty s then
+        invalid_arg "Hitting: empty member has no hitting set")
+    sets;
+  let best = ref None in
+  let best_size = ref max_int in
+  let rec search chosen size remaining =
+    if size >= !best_size then ()
+    else
+      match remaining with
+      | [] ->
+        best := Some chosen;
+        best_size := size
+      | s :: _ ->
+        Pset.iter
+          (fun p ->
+            let chosen' = Pset.add p chosen in
+            let remaining' =
+              List.filter (fun s -> not (Pset.mem p s)) remaining
+            in
+            search chosen' (size + 1) remaining')
+          s
+  in
+  search Pset.empty 0 sets;
+  match !best with
+  | Some h -> h
+  | None -> assert false (* search with no pruning always finds one *)
+
+let csize sets = Pset.cardinal (minimum_hitting_set sets)

@@ -1,0 +1,21 @@
+(** Minimal hitting sets.
+
+    A hitting set of a collection [Q] of process sets is a set
+    intersecting every member of [Q]; [csize Q] is the minimum size of
+    such a set (paper notation, Sections 3 and 5). For a
+    superset-closed adversary [A], [setcon A = csize (live A)]
+    (Gafni–Kuznetsov [14]). *)
+
+open Fact_topology
+
+val csize : Pset.t list -> int
+(** Minimum hitting-set size of the collection; 0 for the empty
+    collection. Raises [Invalid_argument] if some member is empty (no
+    hitting set exists). Exact branch-and-bound, exponential in the
+    worst case but fast for the small universes used here. *)
+
+val minimum_hitting_set : Pset.t list -> Pset.t
+(** One hitting set of minimum size ([Pset.empty] for the empty
+    collection). *)
+
+val is_hitting_set : Pset.t -> Pset.t list -> bool

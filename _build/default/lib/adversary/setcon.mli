@@ -1,0 +1,36 @@
+(** Agreement power of adversaries (Definition 1, after [13]).
+
+    [setcon A] is the smallest [k] such that k-set consensus is
+    solvable in the adversarial A-model:
+
+    {v
+      setcon ∅ = 0
+      setcon A = max_{S ∈ A} ( min_{a ∈ S} setcon (A|S\{a}) + 1 )
+    v} *)
+
+open Fact_topology
+
+val setcon : Adversary.t -> int
+(** Exact agreement power, memoized internally over restrictions. *)
+
+val setcon_collection : n:int -> Pset.t list -> int
+(** Agreement power of an arbitrary explicit live-set collection (used
+    for [A|P,Q] in the fairness check). *)
+
+val alpha : Adversary.t -> Pset.t -> int
+(** The agreement function of the adversary:
+    [alpha A P = setcon (A|P)] (Section 3). *)
+
+val alpha_fn : Adversary.t -> Pset.t -> int
+(** Like {!alpha} but partially applied: [let a = alpha_fn adv] returns
+    a closure sharing one memo table across calls — use this when α is
+    queried many times (e.g. when building [R_A]). *)
+
+val setcon_fn : Pset.t list -> Pset.t -> int
+(** [setcon_fn live P = setcon (C|P)] for the explicit collection
+    [C = live], with a shared memo table across calls. *)
+
+val symmetric_formula : Adversary.t -> int
+(** For symmetric adversaries: [|{k : ∃S ∈ A, |S| = k}|]. Raises
+    [Invalid_argument] on non-symmetric input. Used to cross-check
+    {!setcon}. *)

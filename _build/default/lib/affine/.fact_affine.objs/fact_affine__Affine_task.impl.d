@@ -1,0 +1,1 @@
+lib/affine/affine_task.ml: Chr Complex Fact_topology Format List Simplex Vertex

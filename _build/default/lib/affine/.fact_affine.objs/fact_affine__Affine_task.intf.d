@@ -1,0 +1,1 @@
+lib/affine/affine_task.mli: Complex Fact_topology Format Pset Simplex

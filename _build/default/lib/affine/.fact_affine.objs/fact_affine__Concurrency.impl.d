@@ -1,0 +1,1 @@
+lib/affine/concurrency.ml: Agreement Complex Critical Fact_adversary Fact_topology Hashtbl List Option Simplex Stdlib

@@ -1,0 +1,1 @@
+lib/affine/concurrency.mli: Agreement Complex Fact_adversary Fact_topology Simplex

@@ -1,0 +1,1 @@
+lib/affine/contention.ml: Complex Fact_topology List Pset Simplex Views

@@ -1,0 +1,1 @@
+lib/affine/contention.mli: Complex Fact_topology Simplex Vertex

@@ -1,0 +1,1 @@
+lib/affine/critical.ml: Agreement Complex Fact_adversary Fact_topology List Pset Simplex Vertex

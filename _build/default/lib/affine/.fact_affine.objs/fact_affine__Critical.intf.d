@@ -1,0 +1,1 @@
+lib/affine/critical.mli: Agreement Complex Fact_adversary Fact_topology Pset Simplex

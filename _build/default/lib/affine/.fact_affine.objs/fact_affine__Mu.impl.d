@@ -1,0 +1,1 @@
+lib/affine/mu.ml: Critical Fact_topology List Pset Simplex Vertex Views

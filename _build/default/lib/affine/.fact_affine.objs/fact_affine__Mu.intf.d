@@ -1,0 +1,1 @@
+lib/affine/mu.mli: Agreement Fact_adversary Fact_topology Pset Simplex Vertex

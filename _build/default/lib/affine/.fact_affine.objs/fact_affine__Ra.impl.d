@@ -1,0 +1,1 @@
+lib/affine/ra.ml: Adversary Affine_task Agreement Chr Complex Concurrency Contention Critical Fact_adversary Fact_topology List Pset Simplex

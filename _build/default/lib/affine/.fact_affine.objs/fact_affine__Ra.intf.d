@@ -1,0 +1,1 @@
+lib/affine/ra.mli: Adversary Affine_task Agreement Complex Fact_adversary Fact_topology Simplex

@@ -1,0 +1,1 @@
+lib/affine/rkof.ml: Affine_task Chr Complex Contention Fact_topology List Simplex

@@ -1,0 +1,1 @@
+lib/affine/rkof.mli: Affine_task Complex Fact_topology

@@ -1,0 +1,1 @@
+lib/affine/rtres.ml: Affine_task Chr Complex Fact_topology List Pset Simplex Vertex

@@ -1,0 +1,1 @@
+lib/affine/rtres.mli: Affine_task Complex Fact_topology

@@ -1,0 +1,1 @@
+lib/affine/views.ml: Fact_topology Format Printf Pset Simplex Vertex

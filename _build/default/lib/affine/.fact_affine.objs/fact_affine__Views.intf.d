@@ -1,0 +1,1 @@
+lib/affine/views.mli: Fact_topology Format Pset Simplex Vertex

@@ -1,0 +1,82 @@
+open Fact_topology
+
+type t = { ell : int; complex : Complex.t }
+
+let check_facet_level ell f =
+  List.for_all (fun v -> Vertex.level v = ell) (Simplex.vertices f)
+
+let make ~ell complex =
+  if Complex.is_empty complex then
+    invalid_arg "Affine_task.make: empty complex";
+  if not (Complex.is_pure complex) then
+    invalid_arg "Affine_task.make: complex is not pure";
+  List.iter
+    (fun f ->
+      if not (check_facet_level ell f) then
+        invalid_arg "Affine_task.make: facet at wrong subdivision level";
+      if not (Chr.is_simplex_of_chr f) then
+        invalid_arg "Affine_task.make: facet violates IS conditions")
+    (Complex.facets complex);
+  { ell; complex }
+
+let ell t = t.ell
+let n t = Complex.n t.complex
+let complex t = t.complex
+let delta t sigma = Complex.restrict_colors sigma t.complex
+
+let full_chr ~n ~ell = { ell; complex = Chr.iterate ell (Chr.standard n) }
+
+(* Substitute the base vertices of [v] (a vertex tree over s) by the
+   vertices of the host facet [sigma] with matching colors. *)
+let rec substitute sigma v =
+  match v with
+  | Vertex.Input { proc; _ } ->
+    (match Simplex.find_color proc sigma with
+    | Some w -> w
+    | None -> invalid_arg "Affine_task.compose: missing color in host facet")
+  | Vertex.Deriv { proc; carrier } ->
+    (* re-sort: substitution does not preserve Vertex.compare order *)
+    let carrier =
+      List.sort Vertex.compare (List.map (substitute sigma) carrier)
+    in
+    Vertex.Deriv { proc; carrier }
+
+let compose_facets ~host inner =
+  Simplex.make (List.map (substitute host) (Simplex.vertices inner))
+
+let compose l1 l2 =
+  if n l1 <> n l2 then invalid_arg "Affine_task.compose: different universes";
+  let gens =
+    List.concat_map
+      (fun host ->
+        List.map
+          (fun inner ->
+            Simplex.make
+              (List.map (substitute host) (Simplex.vertices inner)))
+          (Complex.facets l2.complex))
+      (Complex.facets l1.complex)
+  in
+  { ell = l1.ell + l2.ell; complex = Complex.of_facets ~n:(n l1) gens }
+
+let iterate l m =
+  if m < 1 then invalid_arg "Affine_task.iterate: m must be >= 1";
+  let rec go acc k = if k = 1 then acc else go (compose acc l) (k - 1) in
+  go l m
+
+let mem_run t sigma = Complex.mem sigma t.complex
+
+let apply t inputs =
+  let gens =
+    List.concat_map
+      (fun host ->
+        if Simplex.card host <> Complex.n inputs then
+          invalid_arg "Affine_task.apply: input facet not full-dimensional";
+        List.map
+          (fun inner -> compose_facets ~host inner)
+          (Complex.facets t.complex))
+      (Complex.facets inputs)
+  in
+  Complex.of_facets ~n:(Complex.n inputs) gens
+
+let pp_stats ppf t =
+  Format.fprintf ppf "ell=%d %a" t.ell Complex.pp_stats t.complex

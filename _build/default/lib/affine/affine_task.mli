@@ -1,0 +1,57 @@
+(** Affine tasks: pure nonempty sub-complexes of [Chr^ℓ s]
+    (Section 2, "Simplex agreement and affine tasks").
+
+    The affine task associated with a complex [L ⊆ Chr^ℓ s] is
+    [(s, L, ∆)] with [∆(σ) = L ∩ Chr^ℓ(σ)] for every face σ ⊆ s.
+    Iterating the task [m] times yields [L^m ⊆ Chr^{ℓm} s]; the affine
+    model [L*] is the (compact, by construction) set of infinite IIS
+    runs all of whose [ℓm]-prefixes land in [L^m]. *)
+
+open Fact_topology
+
+type t
+
+val make : ell:int -> Complex.t -> t
+(** Wraps a sub-complex of [Chr^ℓ s]. Checks purity, non-emptiness and
+    (containment/immediacy) validity of all facets; raises
+    [Invalid_argument] on failure. *)
+
+val ell : t -> int
+(** Number of IS rounds per iteration. *)
+
+val n : t -> int
+val complex : t -> Complex.t
+
+val delta : t -> Pset.t -> Complex.t
+(** [∆(σ) = L ∩ Chr^ℓ(σ)] — the outputs allowed when the participating
+    set is σ. May be empty (participation must then grow). *)
+
+val full_chr : n:int -> ell:int -> t
+(** The trivial affine task [Chr^ℓ s] itself (the IIS / wait-free
+    model). *)
+
+val compose : t -> t -> t
+(** [compose l1 l2]: run [l1], then run [l2] "inside" the output
+    simplex of [l1] — the facets are those of [l2] with base vertices
+    replaced by vertices of a facet of [l1]. The result lives in
+    [Chr^{ℓ1+ℓ2} s]. *)
+
+val iterate : t -> int -> t
+(** [iterate l m = L^m]. [m ≥ 1]. *)
+
+val compose_facets : host:Simplex.t -> Simplex.t -> Simplex.t
+(** [compose_facets ~host inner]: the facet obtained by realizing
+    [inner] (a facet over [s]) inside the facet [host]: base vertices
+    of [inner] are replaced by the [host] vertices of the same color.
+    Realizes one more iteration of a run. *)
+
+val mem_run : t -> Simplex.t -> bool
+(** Is the simplex a member of the task's output complex? *)
+
+val apply : t -> Complex.t -> Complex.t
+(** [apply l inputs]: the protocol complex of running [l] on the given
+    input complex — every facet of [inputs] subdivided by the pattern
+    of [l] (for [l = Chr^ℓ s] this is [Chr^ℓ(inputs)]). Facets of
+    [inputs] must have full dimension n−1. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+open Fact_topology
+open Fact_adversary
+
+let level alpha sigma =
+  List.fold_left
+    (fun acc tau -> max acc (Agreement.eval alpha (Simplex.base_carrier tau)))
+    0
+    (Critical.critical_subsets alpha sigma)
+
+let classify alpha k =
+  List.map (fun s -> (s, level alpha s)) (Complex.all_simplices k)
+
+let histogram alpha k =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (_, l) ->
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    (classify alpha k);
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+  |> List.sort Stdlib.compare

@@ -1,0 +1,18 @@
+(** The concurrency map [Conc_α] (Definition 8, Figure 6).
+
+    [Conc_α(σ)], for σ ∈ Chr s, is the largest agreement power
+    associated with a critical face of σ (0 if σ has none):
+    [max (0 ∪ {α(χ(carrier(τ,s))) : τ ∈ CS_α(σ)})]. *)
+
+open Fact_topology
+open Fact_adversary
+
+val level : Agreement.t -> Simplex.t -> int
+(** [Conc_α(σ)] for σ ∈ Chr s. *)
+
+val classify : Agreement.t -> Complex.t -> (Simplex.t * int) list
+(** Concurrency level of every simplex of a sub-complex of [Chr s]
+    (regenerates Figure 6). *)
+
+val histogram : Agreement.t -> Complex.t -> (int * int) list
+(** [(level, how many simplices)] pairs, sorted by level. *)

@@ -1,0 +1,35 @@
+open Fact_topology
+
+let contending v v' =
+  let v1 = Views.view1 v and v1' = Views.view1 v' in
+  let v2 = Views.view2 v and v2' = Views.view2 v' in
+  (Pset.proper_subset v1 v1' && Pset.proper_subset v2' v2)
+  || (Pset.proper_subset v1' v1 && Pset.proper_subset v2 v2')
+
+let is_contention_simplex s =
+  let vs = Simplex.vertices s in
+  let rec pairs = function
+    | [] -> true
+    | v :: rest ->
+      List.for_all (fun v' -> contending v v') rest && pairs rest
+  in
+  pairs vs
+
+(* Largest contention face: greedy does not work, enumerate faces from
+   large to small. Simplices here have at most n vertices, so 2^n
+   faces. *)
+let max_contention_dim s =
+  List.fold_left
+    (fun acc f -> if is_contention_simplex f then max acc (Simplex.dim f) else acc)
+    (-1) (Simplex.faces s)
+
+let complex k =
+  let gens =
+    List.filter is_contention_simplex (Complex.all_simplices k)
+  in
+  Complex.of_facets ~n:(Complex.n k) gens
+
+let simplices_of_dim_ge d k =
+  List.filter
+    (fun s -> Simplex.dim s >= d && is_contention_simplex s)
+    (Complex.all_simplices k)

@@ -1,0 +1,28 @@
+(** The 2-contention complex [Cont2] (Definition 5, Figure 4).
+
+    Two vertices of [Chr² s] are {e contending} if their View1 and
+    View2 are strictly ordered in opposite ways. A simplex all of whose
+    vertex pairs are contending is a 2-contention simplex. [Cont2] is
+    inclusion-closed, hence a complex. *)
+
+open Fact_topology
+
+val contending : Vertex.t -> Vertex.t -> bool
+(** Both vertices must be at level 2. *)
+
+val is_contention_simplex : Simplex.t -> bool
+(** True for every simplex of dimension ≤ 0 (vacuously). *)
+
+val max_contention_dim : Simplex.t -> int
+(** Dimension of the largest contention face of the given simplex
+    (−1 if even single vertices are excluded — never happens for
+    nonempty simplices, whose vertices are 0-dimensional contention
+    simplices). *)
+
+val complex : Complex.t -> Complex.t
+(** The 2-contention sub-complex of the given sub-complex of
+    [Chr² s]: all its contention simplices (given by maximal ones). *)
+
+val simplices_of_dim_ge : int -> Complex.t -> Simplex.t list
+(** All contention simplices of dimension ≥ k in the complex — the
+    prohibited set of Definition 6. *)

@@ -1,0 +1,38 @@
+open Fact_topology
+open Fact_adversary
+
+let is_critical alpha sigma =
+  if Simplex.is_empty sigma then false
+  else begin
+    List.iter
+      (fun v ->
+        if Vertex.level v <> 1 then
+          invalid_arg "Critical.is_critical: simplex not in Chr s")
+      (Simplex.vertices sigma);
+    let car = Simplex.base_carrier sigma in
+    let shared =
+      List.for_all
+        (fun v -> Pset.equal (Vertex.base_carrier v) car)
+        (Simplex.vertices sigma)
+    in
+    shared
+    && Agreement.eval alpha (Pset.diff car (Simplex.colors sigma))
+       < Agreement.eval alpha car
+  end
+
+let critical_subsets alpha sigma =
+  List.filter (is_critical alpha) (Simplex.faces sigma)
+
+let members alpha sigma =
+  let css = critical_subsets alpha sigma in
+  let vs =
+    List.filter
+      (fun v -> List.exists (fun cs -> Simplex.mem v cs) css)
+      (Simplex.vertices sigma)
+  in
+  Simplex.make vs
+
+let view alpha sigma = Simplex.base_carrier (members alpha sigma)
+
+let all_critical alpha k =
+  List.filter (is_critical alpha) (Complex.all_simplices k)

@@ -1,0 +1,51 @@
+open Fact_topology
+
+(* Smallest set (by inclusion) among a nonempty list of pairwise
+   comparable sets — carriers inside one simplex of Chr s are totally
+   ordered by inclusion, so minimizing cardinality is sound. *)
+let smallest sets =
+  match sets with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun acc s -> if Pset.cardinal s < Pset.cardinal acc then s else acc)
+         first rest)
+
+let delta_q alpha ~q v =
+  let car = Views.chr1_carrier v in
+  Critical.critical_subsets alpha car
+  |> List.filter_map (fun cs ->
+         let view = Simplex.base_carrier cs in
+         if Pset.disjoint view q then None else Some view)
+  |> smallest
+
+let gamma_q ~q v =
+  let car = Views.chr1_carrier v in
+  Simplex.vertices car
+  |> List.filter_map (fun v' ->
+         let view = Vertex.base_carrier v' in
+         if Pset.disjoint view q then None else Some view)
+  |> smallest
+
+let leader alpha ~q v =
+  if Vertex.level v <> 2 then invalid_arg "Mu.leader: vertex not at level 2";
+  if not (Pset.mem (Vertex.proc v) q) then
+    invalid_arg "Mu.leader: vertex color not in Q";
+  let car = Views.chr1_carrier v in
+  let csv = Critical.view alpha car in
+  let selected =
+    if not (Pset.disjoint csv q) then delta_q alpha ~q v else gamma_q ~q v
+  in
+  match selected with
+  | Some view -> Pset.min_elt (Pset.inter view q)
+  | None ->
+    (* χ(v) ∈ Q and v sees itself, so γ_Q always has a candidate. *)
+    assert false
+
+let leaders alpha ~q theta =
+  List.fold_left
+    (fun acc v ->
+      if Pset.mem (Vertex.proc v) q then Pset.add (leader alpha ~q v) acc
+      else acc)
+    Pset.empty (Simplex.vertices theta)

@@ -1,0 +1,33 @@
+(** α-adaptive leader election in [R_A]: the [µ_Q] map (Section 6.2).
+
+    Given a set [Q] of processes that may participate in an agreement
+    protocol, [µ_Q] assigns to each vertex [v ∈ R_A] with [χ(v) ∈ Q] a
+    leader process in [Q ∩ χ(carrier(v, s))]:
+
+    - if the process observes a critical simplex whose View1 meets [Q]
+      ([χ(CSV_α(carrier(v, Chr s))) ∩ Q ≠ ∅]), the leader is drawn from
+      the smallest such critical View1 ([δ_Q]);
+    - otherwise from the smallest observed View1 meeting [Q] ([γ_Q]);
+    - in both cases the leader is the minimum process id in the
+      selected view intersected with [Q] ([min_Q]).
+
+    Properties 9 (validity), 10 (agreement: at most
+    [α(χ(carrier(θ,s)))] distinct leaders on any θ ⊆ σ with χ(θ) ⊆ Q)
+    and 12 (robustness: only [Q ∩ carrier(v,s)] matters) are verified
+    exhaustively by the test suite. *)
+
+open Fact_topology
+open Fact_adversary
+
+val delta_q : Agreement.t -> q:Pset.t -> Vertex.t -> Pset.t option
+(** The smallest critical View1 meeting [Q], if any. *)
+
+val gamma_q : q:Pset.t -> Vertex.t -> Pset.t option
+(** The smallest observed View1 meeting [Q], if any. *)
+
+val leader : Agreement.t -> q:Pset.t -> Vertex.t -> int
+(** [µ_Q(v)]. Raises [Invalid_argument] if [χ(v) ∉ Q] or the vertex is
+    not at level 2 (in both cases [µ_Q] is undefined). *)
+
+val leaders : Agreement.t -> q:Pset.t -> Simplex.t -> Pset.t
+(** The set [{µ_Q(v) : v ∈ θ, χ(v) ∈ Q}]. *)

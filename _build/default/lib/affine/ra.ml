@@ -1,0 +1,45 @@
+open Fact_topology
+open Fact_adversary
+
+type variant = Def9_intersection | Lemma6_union
+
+let default_variant = Lemma6_union
+
+(* The condition P(θ, σ) of Definition 9. The per-facet carrier ρ and
+   per-face carrier τ both live in Chr s; CSM/CSV/Conc are computed
+   there. *)
+let face_ok variant alpha ~rho theta =
+  if not (Contention.is_contention_simplex theta) then true
+  else
+    let tau = Simplex.carrier theta in
+    let chi_theta = Simplex.colors theta in
+    let csm_rho = Simplex.colors (Critical.members alpha rho) in
+    let csv_tau = Critical.view alpha tau in
+    let exempt =
+      match variant with
+      | Def9_intersection ->
+        not (Pset.is_empty (Pset.inter chi_theta (Pset.inter csm_rho csv_tau)))
+      | Lemma6_union ->
+        not (Pset.is_empty (Pset.inter chi_theta (Pset.union csm_rho csv_tau)))
+    in
+    exempt || Simplex.dim theta < Concurrency.level alpha tau
+
+let offending_faces ?(variant = default_variant) alpha sigma =
+  let rho = Simplex.carrier sigma in
+  List.filter
+    (fun theta -> not (face_ok variant alpha ~rho theta))
+    (Simplex.faces sigma)
+
+let facet_ok ?(variant = default_variant) alpha sigma =
+  let rho = Simplex.carrier sigma in
+  List.for_all (face_ok variant alpha ~rho) (Simplex.faces sigma)
+
+let complex ?(variant = default_variant) alpha ~n =
+  let chr2 = Chr.iterate 2 (Chr.standard n) in
+  Complex.filter_facets (facet_ok ~variant alpha) chr2
+
+let task ?(variant = default_variant) alpha ~n =
+  Affine_task.make ~ell:2 (complex ~variant alpha ~n)
+
+let of_adversary ?(variant = default_variant) a =
+  task ~variant (Agreement.of_adversary a) ~n:(Adversary.n a)

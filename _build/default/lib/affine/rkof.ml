@@ -1,0 +1,17 @@
+open Fact_topology
+
+let complex ~n ~k =
+  if k < 1 || k > n then invalid_arg "Rkof: need 1 <= k <= n";
+  let chr2 = Chr.iterate 2 (Chr.standard n) in
+  (* Keep the facets having no contention face of dimension >= k; the
+     closure of those facets is the pure complement of Definition 6. *)
+  Complex.filter_facets
+    (fun f ->
+      not
+        (List.exists
+           (fun theta ->
+             Simplex.dim theta >= k && Contention.is_contention_simplex theta)
+           (Simplex.faces f)))
+    chr2
+
+let task ~n ~k = Affine_task.make ~ell:2 (complex ~n ~k)

@@ -1,0 +1,13 @@
+(** The affine task of k-obstruction-freedom / k-concurrency
+    (Definition 6, after Gafni et al. [12]).
+
+    [R_{k-OF} = Pc({σ ∈ Cont2 : dim σ ≥ k}, Chr² s)] — the pure
+    complement of the too-large contention simplices. *)
+
+open Fact_topology
+
+val task : n:int -> k:int -> Affine_task.t
+(** Raises [Invalid_argument] unless [1 ≤ k ≤ n]. For [k = n] the task
+    is all of [Chr² s] (wait-freedom). *)
+
+val complex : n:int -> k:int -> Complex.t

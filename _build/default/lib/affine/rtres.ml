@@ -1,0 +1,13 @@
+open Fact_topology
+
+let complex ~n ~t =
+  if t < 0 || t >= n then invalid_arg "Rtres: need 0 <= t < n";
+  let chr2 = Chr.iterate 2 (Chr.standard n) in
+  Complex.filter_facets
+    (fun f ->
+      List.for_all
+        (fun v -> Pset.cardinal (Vertex.base_carrier v) >= n - t)
+        (Simplex.vertices f))
+    chr2
+
+let task ~n ~t = Affine_task.make ~ell:2 (complex ~n ~t)

@@ -1,0 +1,12 @@
+(** The affine task of t-resilience (Saraph, Herlihy, Gafni [30];
+    Figure 1b shows [R_{1-res}] for n = 3).
+
+    The output complex keeps the 2-round IS runs in which every process
+    sees at least [n − t − 1] {e other} processes, i.e. every vertex has
+    a base carrier of size ≥ n − t; equivalently, [Chr² s] minus the
+    star of the (n−t−1)-skeleton of [s]. *)
+
+open Fact_topology
+
+val task : n:int -> t:int -> Affine_task.t
+val complex : n:int -> t:int -> Complex.t

@@ -1,0 +1,26 @@
+open Fact_topology
+
+let level2 fname v =
+  if Vertex.level v <> 2 then
+    invalid_arg (Printf.sprintf "Views.%s: vertex not at level 2" fname)
+
+let chr1_carrier v =
+  level2 "chr1_carrier" v;
+  Simplex.make (Vertex.carrier v)
+
+let view2 v =
+  level2 "view2" v;
+  Simplex.colors (chr1_carrier v)
+
+let view1 v =
+  level2 "view1" v;
+  let self =
+    match Simplex.find_color (Vertex.proc v) (chr1_carrier v) with
+    | Some v' -> v'
+    | None -> invalid_arg "Views.view1: carrier misses own color"
+  in
+  Vertex.base_carrier self
+
+let pp_views ppf v =
+  Format.fprintf ppf "p%d: View1=%a View2=%a" (Vertex.proc v) Pset.pp
+    (view1 v) Pset.pp (view2 v)

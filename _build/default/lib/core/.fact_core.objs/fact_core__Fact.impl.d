@@ -1,0 +1,1 @@
+lib/core/fact.ml: Fact_adversary Fact_affine Fact_runtime Fact_tasks Fact_topology

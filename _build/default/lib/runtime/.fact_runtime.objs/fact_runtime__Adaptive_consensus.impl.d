@@ -1,0 +1,1 @@
+lib/runtime/adaptive_consensus.ml: Affine_runner Affine_task Array Fact_affine Fact_topology List Mu Pset Stdlib

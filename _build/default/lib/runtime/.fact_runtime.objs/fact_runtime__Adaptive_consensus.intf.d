@@ -1,0 +1,1 @@
+lib/runtime/adaptive_consensus.mli: Affine_runner Affine_task Agreement Fact_adversary Fact_affine Fact_topology Pset

@@ -1,0 +1,1 @@
+lib/runtime/affine_runner.ml: Affine_task Array Complex Fact_affine Fact_topology List Pset Random Simplex Vertex

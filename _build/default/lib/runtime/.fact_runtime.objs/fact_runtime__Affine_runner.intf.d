@@ -1,0 +1,1 @@
+lib/runtime/affine_runner.mli: Affine_task Complex Fact_affine Fact_topology Simplex Vertex

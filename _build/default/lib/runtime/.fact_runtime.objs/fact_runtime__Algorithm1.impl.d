@@ -1,0 +1,1 @@
+lib/runtime/algorithm1.ml: Agreement Array Exec Fact_adversary Fact_topology Immediate_snapshot List Memory Pset Schedule Simplex Vertex

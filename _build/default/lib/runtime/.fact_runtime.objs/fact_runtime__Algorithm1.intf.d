@@ -1,0 +1,1 @@
+lib/runtime/algorithm1.mli: Agreement Exec Fact_adversary Fact_topology Pset Schedule Simplex Vertex

@@ -1,0 +1,1 @@
+lib/runtime/alpha_sc.ml: Agreement Exec Fact_adversary Fact_topology List Pset

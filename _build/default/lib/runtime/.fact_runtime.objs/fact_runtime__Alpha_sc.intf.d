@@ -1,0 +1,1 @@
+lib/runtime/alpha_sc.mli: Agreement Fact_adversary Fact_topology Pset

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Effect Fact_topology List Pset Schedule

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Fact_topology Pset Schedule

@@ -1,0 +1,1 @@
+lib/runtime/iis.ml: Array Fact_topology Immediate_snapshot List Simplex Vertex

@@ -1,0 +1,1 @@
+lib/runtime/iis.mli: Fact_topology Simplex Vertex

@@ -1,0 +1,1 @@
+lib/runtime/immediate_snapshot.ml: Array Fact_topology List Memory Pset

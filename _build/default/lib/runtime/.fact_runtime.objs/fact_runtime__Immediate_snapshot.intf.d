@@ -1,0 +1,1 @@
+lib/runtime/immediate_snapshot.mli: Fact_topology Pset

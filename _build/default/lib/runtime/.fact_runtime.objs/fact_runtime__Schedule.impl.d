@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Adversary Agreement Array Fact_adversary Fact_topology List Pset Random

@@ -1,0 +1,1 @@
+lib/runtime/schedule.mli: Adversary Agreement Fact_adversary Fact_topology Pset

@@ -1,0 +1,1 @@
+lib/runtime/simulation.ml: Affine_runner Affine_task Array Fact_affine List Option

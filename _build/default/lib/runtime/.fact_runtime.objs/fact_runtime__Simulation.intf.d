@@ -1,0 +1,1 @@
+lib/runtime/simulation.mli: Affine_runner Affine_task Fact_affine

@@ -1,0 +1,102 @@
+open Fact_topology
+open Fact_affine
+
+type result = {
+  decisions : (int * int) list;
+  distinct : int;
+}
+
+(* Per-process state: Some estimate for proposers, None for the rest
+   (they still move through the iterations, as IIS mandates). *)
+let solve ~task ~alpha ~q ~proposals ~picker ?(rounds = 1) () =
+  if Pset.is_empty q then invalid_arg "Adaptive_consensus.solve: empty Q";
+  let init pid = if Pset.mem pid q then Some (proposals pid) else None in
+  let step pid v visible =
+    if not (Pset.mem pid q) then None
+    else begin
+      let leader = Mu.leader alpha ~q v in
+      match List.assoc_opt leader visible with
+      | Some (Some estimate) -> Some estimate
+      | Some None | None ->
+        (* Property 9 puts the leader inside the carrier, so its state
+           is visible; and leaders are proposers, so they hold an
+           estimate. *)
+        assert false
+    end
+  in
+  let states = Affine_runner.run task ~rounds ~picker ~init ~step in
+  let decisions =
+    Array.to_list states
+    |> List.mapi (fun pid st -> (pid, st))
+    |> List.filter_map (function pid, Some v -> Some (pid, v) | _, None -> None)
+  in
+  let distinct =
+    List.sort_uniq Stdlib.compare (List.map snd decisions) |> List.length
+  in
+  { decisions; distinct }
+
+(* §6.1 estimate/commit discipline. Per-process state: the current
+   estimate (every proposer starts with its proposal as estimate) and
+   the committed decision, if any. Non-proposers carry None and only
+   relay information through the full-information structure. *)
+type commit_state = {
+  estimate : int option;
+  committed : int option;
+}
+
+let solve_committed ~task ~alpha ~q ~proposals ~picker ~max_rounds =
+  if Pset.is_empty q then
+    invalid_arg "Adaptive_consensus.solve_committed: empty Q";
+  let init pid =
+    if Pset.mem pid q then
+      { estimate = Some (proposals pid); committed = None }
+    else { estimate = None; committed = None }
+  in
+  let step pid v visible =
+    let self = List.assoc pid visible in
+    if (not (Pset.mem pid q)) || self.committed <> None then self
+    else begin
+      (* adopt the leader's estimate (visible by Property 9) *)
+      let leader = Mu.leader alpha ~q v in
+      let estimate =
+        match List.assoc_opt leader visible with
+        | Some { estimate = Some e; _ } -> Some e
+        | Some { estimate = None; _ } | None -> self.estimate
+      in
+      (* commit once every observed proposer holds an estimate *)
+      let all_have =
+        List.for_all
+          (fun (j, c) -> (not (Pset.mem j q)) || c.estimate <> None)
+          visible
+      in
+      if all_have then { estimate; committed = estimate }
+      else { estimate; committed = None }
+    end
+  in
+  let states = ref (Array.init (Affine_task.n task) init) in
+  (try
+     for _round = 1 to max_rounds do
+       let arr = !states in
+       states :=
+         Affine_runner.run task ~rounds:1 ~picker
+           ~init:(fun pid -> arr.(pid))
+           ~step;
+       let done_ =
+         Pset.for_all (fun pid -> !states.(pid).committed <> None) q
+       in
+       if done_ then raise Exit
+     done
+   with Exit -> ());
+  let decisions =
+    Array.to_list !states
+    |> List.mapi (fun pid c -> (pid, c.committed))
+    |> List.filter_map (function pid, Some v -> Some (pid, v) | _ -> None)
+  in
+  let distinct =
+    List.sort_uniq Stdlib.compare (List.map snd decisions) |> List.length
+  in
+  { decisions; distinct }
+
+let validity_ok ~q ~proposals result =
+  let allowed = Pset.fold (fun p acc -> proposals p :: acc) q [] in
+  List.for_all (fun (_, v) -> List.mem v allowed) result.decisions

@@ -1,0 +1,57 @@
+(** α-adaptive set consensus solved in the affine model [R_A*]
+    (Section 6, Definition 4 and the simulation of §6.1–6.2).
+
+    Processes in a proposer set [Q] start with proposals; one iteration
+    of [R_A] elects, at each vertex [v], the leader [µ_Q(v)], and every
+    proposer adopts the leader's proposal (visible by Property 9).
+    Property 10 then bounds the number of distinct adopted values by
+    [α(χ(carrier(θ, s))) ≤ α(Π)], and leaders lie in [Q], so at most
+    [min (|Q|, α(Π))] distinct values are decided — exactly the
+    α-agreement of Definition 4 (participation here is the full
+    universe: the affine model is failure-free). *)
+
+open Fact_topology
+open Fact_adversary
+open Fact_affine
+
+type result = {
+  decisions : (int * int) list;  (** (proposer, decided value) *)
+  distinct : int;                (** number of distinct decided values *)
+}
+
+val solve :
+  task:Affine_task.t ->
+  alpha:Agreement.t ->
+  q:Pset.t ->
+  proposals:(int -> int) ->
+  picker:Affine_runner.picker ->
+  ?rounds:int ->
+  unit ->
+  result
+(** Runs [rounds] (default 1) iterations of the given [R_A] task and
+    decides each proposer's current estimate. [proposals pid] is the
+    value proposed by [pid ∈ Q]. Raises [Invalid_argument] if [q] is
+    empty. *)
+
+val validity_ok : q:Pset.t -> proposals:(int -> int) -> result -> bool
+(** Every decision is the proposal of some process in [Q]. *)
+
+val solve_committed :
+  task:Affine_task.t ->
+  alpha:Agreement.t ->
+  q:Pset.t ->
+  proposals:(int -> int) ->
+  picker:Affine_runner.picker ->
+  max_rounds:int ->
+  result
+(** The estimate/commit discipline of §6.1, closer to the paper's
+    simulation than {!solve}: every iteration each proposer {e adopts}
+    the estimate of its [µ_Q] leader; it {e commits} (and decides) its
+    estimate in the first iteration in which every proposer it observes
+    already holds an estimate. Lemma 13's argument gives the same
+    α-agreement bound: at the earliest committing iteration all
+    proposers hold estimates and Property 10 bounds their diversity;
+    later adoptions only copy existing estimates. Raises
+    [Invalid_argument] on an empty [Q]; processes that never commit
+    within [max_rounds] are absent from [decisions] (does not happen —
+    commitment occurs by round 2 — but the executor is defensive). *)

@@ -1,0 +1,41 @@
+open Fact_topology
+open Fact_affine
+
+type picker = round:int -> Complex.t -> Simplex.t
+
+let random_picker ~seed =
+  let st = Random.State.make [| seed; 0xaff |] in
+  fun ~round:_ complex ->
+    let fs = Complex.facets complex in
+    List.nth fs (Random.State.int st (List.length fs))
+
+let fixed_picker facets =
+  if facets = [] then invalid_arg "Affine_runner.fixed_picker: no facets";
+  let arr = Array.of_list facets in
+  fun ~round _ -> arr.(round mod Array.length arr)
+
+let run l ~rounds ~picker ~init ~step =
+  let n = Affine_task.n l in
+  let states = Array.init n init in
+  let complex = Affine_task.complex l in
+  for round = 0 to rounds - 1 do
+    let facet = picker ~round complex in
+    let snapshot = Array.copy states in
+    for pid = 0 to n - 1 do
+      match Simplex.find_color pid facet with
+      | Some v ->
+        let visible =
+          Pset.fold
+            (fun j acc -> (j, snapshot.(j)) :: acc)
+            (Vertex.base_carrier v) []
+          |> List.rev
+        in
+        states.(pid) <- step pid v visible
+      | None -> ()
+    done
+  done;
+  states
+
+let trace l ~rounds ~picker =
+  let complex = Affine_task.complex l in
+  List.init rounds (fun round -> picker ~round complex)

@@ -1,0 +1,40 @@
+(** Executor for the affine model [L*] (Section 2).
+
+    A run of [L*] is an infinite IIS run whose every ℓm-round prefix
+    lands in [L^m]; operationally, each iteration picks a facet of [L]
+    and every process receives the vertex of its color. A process sees,
+    through its vertex, the end-of-previous-iteration states of exactly
+    the processes in its base carrier (full information). There are no
+    failures in the affine model: every process moves through every
+    iteration. *)
+
+open Fact_topology
+open Fact_affine
+
+type picker = round:int -> Complex.t -> Simplex.t
+(** Chooses the facet realized at each iteration. *)
+
+val random_picker : seed:int -> picker
+val fixed_picker : Simplex.t list -> picker
+(** Cycles through the given facets. *)
+
+val run :
+  Affine_task.t ->
+  rounds:int ->
+  picker:picker ->
+  init:(int -> 'state) ->
+  step:(int -> Vertex.t -> (int * 'state) list -> 'state) ->
+  'state array
+(** [run l ~rounds ~picker ~init ~step]: iterates the task [rounds]
+    times. At each iteration, [step pid v visible] receives the
+    process's vertex [v] in [L] and the states [visible] of the
+    processes in [χ(carrier(v, s))] (sorted by id, including its own)
+    as of the start of the iteration. Returns the final states. *)
+
+val trace :
+  Affine_task.t ->
+  rounds:int ->
+  picker:picker ->
+  Simplex.t list
+(** The facets realized by a run (for inspection and membership
+    checks: their composition must land in [L^m]). *)

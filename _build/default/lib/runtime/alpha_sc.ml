@@ -1,0 +1,37 @@
+open Fact_topology
+open Fact_adversary
+
+type t = {
+  alpha : Agreement.t;
+  mutable participation : Pset.t;
+  mutable returned : int list; (* distinct returned values, reversed *)
+}
+
+let create alpha = { alpha; participation = Pset.empty; returned = [] }
+
+let participation t = t.participation
+let returned_values t = List.rev t.returned
+
+let propose t ~pid ~value =
+  (* registering participation is one atomic step *)
+  Exec.yield ();
+  t.participation <- Pset.add pid t.participation;
+  let rec attempt () =
+    Exec.yield ();
+    let budget = Agreement.eval t.alpha t.participation in
+    let distinct = List.length t.returned in
+    if List.mem value t.returned then value
+    else if distinct < budget then begin
+      (* adversarial choice: open a new decision value when allowed *)
+      t.returned <- value :: t.returned;
+      value
+    end
+    else if distinct >= 1 && budget >= 1 then
+      (* must adopt an already-returned value: the oldest one *)
+      List.nth t.returned (distinct - 1)
+    else
+      (* α(P) = 0: the α-model has no such run yet; wait for more
+         participation *)
+      attempt ()
+  in
+  attempt ()

@@ -1,0 +1,110 @@
+open Fact_topology
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yield () =
+  try Effect.perform Yield with
+  | Effect.Unhandled Yield -> ()
+
+type 'r outcome = Decided of 'r | Crashed of int | Running
+
+type 'r report = {
+  outcomes : 'r outcome array;
+  steps : int;
+  hit_step_budget : bool;
+}
+
+(* A fiber is either not yet started, paused at a yield, or done. *)
+type 'r status =
+  | Finished of 'r
+  | Paused of (unit, 'r status) Effect.Deep.continuation
+
+type 'r fiber =
+  | Not_started of (unit -> 'r)
+  | Suspended of (unit, 'r status) Effect.Deep.continuation
+  | Terminated
+
+exception Killed
+
+let handler =
+  {
+    Effect.Deep.retc = (fun r -> Finished r);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some
+            (fun (k : (a, _) Effect.Deep.continuation) -> Paused k)
+        | _ -> None);
+  }
+
+let run ?(max_steps = 100_000) ~schedule procs =
+  let n = Schedule.n schedule in
+  if Array.length procs <> n then invalid_arg "Exec.run: arity mismatch";
+  let participants = Schedule.participants schedule in
+  let fibers =
+    Array.init n (fun i ->
+        if Pset.mem i participants then Not_started (fun () -> procs.(i) i)
+        else Terminated)
+  in
+  let outcomes = Array.make n Running in
+  let steps_of = Array.make n 0 in
+  let total = ref 0 in
+  let alive () =
+    Pset.filter
+      (fun i -> match fibers.(i) with Terminated -> false | _ -> true)
+      participants
+  in
+  let kill pid =
+    (match fibers.(pid) with
+    | Suspended k -> (
+      (* unwind the fiber so finalizers (if any) run *)
+      try ignore (Effect.Deep.discontinue k Killed) with Killed -> ())
+    | Not_started _ | Terminated -> ());
+    fibers.(pid) <- Terminated;
+    outcomes.(pid) <- Crashed steps_of.(pid)
+  in
+  let step pid =
+    let status =
+      match fibers.(pid) with
+      | Not_started f -> Effect.Deep.match_with f () handler
+      | Suspended k -> Effect.Deep.continue k ()
+      | Terminated -> assert false
+    in
+    steps_of.(pid) <- steps_of.(pid) + 1;
+    incr total;
+    match status with
+    | Finished r ->
+      fibers.(pid) <- Terminated;
+      outcomes.(pid) <- Decided r
+    | Paused k -> fibers.(pid) <- Suspended k
+  in
+  let hit_budget = ref false in
+  let rec loop () =
+    let a = alive () in
+    if Pset.is_empty a then ()
+    else if !total >= max_steps then hit_budget := true
+    else
+      match Schedule.next schedule ~alive:a with
+      | None -> ()
+      | Some pid ->
+        if Schedule.crash_now schedule ~pid ~steps_taken:steps_of.(pid) then begin
+          kill pid;
+          loop ()
+        end
+        else begin
+          step pid;
+          loop ()
+        end
+  in
+  loop ();
+  { outcomes; steps = !total; hit_step_budget = !hit_budget }
+
+let decided r =
+  Array.to_list r.outcomes
+  |> List.mapi (fun i o -> (i, o))
+  |> List.filter_map (function i, Decided v -> Some (i, v) | _ -> None)
+
+let decided_set r =
+  List.fold_left (fun acc (i, _) -> Pset.add i acc) Pset.empty (decided r)

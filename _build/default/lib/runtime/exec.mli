@@ -1,0 +1,42 @@
+(** Cooperative executor for asynchronous shared-memory protocols,
+    built on OCaml 5 effects.
+
+    Each process runs as a fiber; it calls {!yield} before every atomic
+    shared-memory operation, giving the scheduler an interleaving point.
+    Code between two yields executes atomically — this is how the
+    atomic-snapshot semantics of {!Memory} is realized. A {!Schedule}
+    decides which fiber steps next and which processes crash. *)
+
+open Fact_topology
+
+val yield : unit -> unit
+(** Interleaving point. A no-op when called outside {!run} (so protocol
+    code can also be executed sequentially, e.g. in unit tests). *)
+
+type 'r outcome =
+  | Decided of 'r     (** the process returned a value *)
+  | Crashed of int    (** crashed by the schedule after [k] steps *)
+  | Running           (** still alive when the executor stopped *)
+
+type 'r report = {
+  outcomes : 'r outcome array;
+  steps : int;                  (** total scheduler steps *)
+  hit_step_budget : bool;
+}
+
+val run :
+  ?max_steps:int ->
+  schedule:Schedule.t ->
+  (int -> 'r) array ->
+  'r report
+(** [run ~schedule procs] executes [procs.(i) i] for each participant
+    [i] of the schedule under its interleaving, crashing processes as
+    the schedule dictates, until every non-crashed participant has
+    decided (or [max_steps], default 100_000, is hit — then remaining
+    processes report [Running]). Non-participants report [Running]
+    with 0 steps. Exceptions raised by a process propagate. *)
+
+val decided : 'r report -> (int * 'r) list
+(** The decided processes with their values, by increasing id. *)
+
+val decided_set : 'r report -> Pset.t

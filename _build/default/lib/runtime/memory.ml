@@ -1,0 +1,18 @@
+type 'a t = { cells : 'a option array }
+
+let create n = { cells = Array.make n None }
+let n t = Array.length t.cells
+
+let update t ~pid v =
+  Exec.yield ();
+  t.cells.(pid) <- Some v
+
+let snapshot t =
+  Exec.yield ();
+  Array.copy t.cells
+
+let get t i =
+  Exec.yield ();
+  t.cells.(i)
+
+let peek t i = t.cells.(i)

@@ -1,0 +1,24 @@
+(** Atomic-snapshot shared memory (Section 2).
+
+    A vector of [n] single-writer cells supporting [update] (write own
+    cell) and [snapshot] (read the whole vector atomically). Atomicity
+    is obtained from the cooperative executor: both operations perform
+    exactly one {!Exec.yield} and then execute without interleaving. *)
+
+type 'a t
+
+val create : int -> 'a t
+val n : 'a t -> int
+
+val update : 'a t -> pid:int -> 'a -> unit
+(** One atomic step: write the cell of [pid]. *)
+
+val snapshot : 'a t -> 'a option array
+(** One atomic step: the current vector ([None] = never written). *)
+
+val get : 'a t -> int -> 'a option
+(** One atomic step: read a single cell. *)
+
+val peek : 'a t -> int -> 'a option
+(** Non-atomic debug read (no yield) — for assertions and printing
+    outside fibers only. *)

@@ -1,0 +1,102 @@
+open Fact_topology
+open Fact_adversary
+
+type kind =
+  | Round_robin of { mutable last : int }
+  | Sequential
+  | Random of Random.State.t
+
+type t = {
+  n : int;
+  participants : Pset.t;
+  crash_after : int array; (* max_int = correct *)
+  kind : kind;
+}
+
+let n t = t.n
+let participants t = t.participants
+
+let faulty t =
+  Pset.filter (fun p -> t.crash_after.(p) < max_int) t.participants
+
+let next t ~alive =
+  if Pset.is_empty alive then None
+  else
+    match t.kind with
+    | Sequential -> Some (Pset.min_elt alive)
+    | Round_robin r ->
+      let cands = Pset.to_list alive in
+      let after = List.filter (fun p -> p > r.last) cands in
+      let pid = match after with p :: _ -> p | [] -> List.hd cands in
+      r.last <- pid;
+      Some pid
+    | Random st ->
+      let cands = Pset.to_list alive in
+      Some (List.nth cands (Random.State.int st (List.length cands)))
+
+let crash_now t ~pid ~steps_taken = steps_taken >= t.crash_after.(pid)
+
+let no_crash n = Array.make n max_int
+
+let round_robin ~n ~participants =
+  { n; participants; crash_after = no_crash n; kind = Round_robin { last = -1 } }
+
+let sequential ~n ~participants =
+  { n; participants; crash_after = no_crash n; kind = Sequential }
+
+let random ~seed ~n ~participants ~crashes =
+  let crash_after = no_crash n in
+  List.iter
+    (fun (pid, k) ->
+      if not (Pset.mem pid participants) then
+        invalid_arg "Schedule.random: crashing a non-participant";
+      crash_after.(pid) <- k)
+    crashes;
+  { n;
+    participants;
+    crash_after;
+    kind = Random (Random.State.make [| seed |]);
+  }
+
+let random_crashes st ~candidates ~max_faulty ~max_crash_step =
+  let cands = Pset.to_list candidates in
+  let nb = Random.State.int st (max_faulty + 1) in
+  let rec pick acc cands k =
+    if k = 0 || cands = [] then acc
+    else
+      let i = Random.State.int st (List.length cands) in
+      let pid = List.nth cands i in
+      pick ((pid, Random.State.int st max_crash_step) :: acc)
+        (List.filter (fun p -> p <> pid) cands)
+        (k - 1)
+  in
+  pick [] cands nb
+
+let alpha_model ~seed alpha ~participation =
+  let n = Agreement.n alpha in
+  let a = Agreement.eval alpha participation in
+  if a < 1 then
+    invalid_arg "Schedule.alpha_model: alpha(P) = 0, no such run";
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let crashes =
+    random_crashes st ~candidates:participation ~max_faulty:(a - 1)
+      ~max_crash_step:30
+  in
+  random
+    ~seed:(Random.State.int st 0x3FFFFFFF)
+    ~n ~participants:participation ~crashes
+
+let adversarial ~seed adv ~live =
+  if not (Adversary.is_live live adv) then
+    invalid_arg "Schedule.adversarial: correct set is not a live set";
+  let n = Adversary.n adv in
+  let universe = Pset.full n in
+  let st = Random.State.make [| seed; 0xadf |] in
+  let crashes =
+    Pset.fold
+      (fun p acc -> (p, Random.State.int st 30) :: acc)
+      (Pset.diff universe live) []
+  in
+  random
+    ~seed:(Random.State.int st 0x3FFFFFFF)
+    ~n ~participants:universe ~crashes

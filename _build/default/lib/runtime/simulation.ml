@@ -1,0 +1,138 @@
+
+open Fact_affine
+
+type value = int
+
+type ('st, 'out) protocol = {
+  init : int -> 'st;
+  write_value : 'st -> value;
+  on_snapshot : 'st -> (value * int) option array -> 'st;
+  decide : 'st -> 'out option;
+}
+
+type 'out outcome = {
+  decisions : (int * 'out) list;
+  rounds_used : int;
+  snapshots : (int * (value * int) option array) list;
+}
+
+(* Published per-process state: a copy of the simulated memory, the
+   sequence number of the writer's pending (or last) write, and the
+   terminated flag (the ⊥ of §6.1). *)
+type 'st cell = {
+  memory : (value * int) option array;
+  pending_seq : int;            (* seq of the write being performed *)
+  terminated : bool;
+  state : 'st;                  (* protocol-local, not read by others *)
+}
+
+let merge n mine theirs =
+  Array.init n (fun j ->
+      match (mine.(j), theirs.(j)) with
+      | None, c | c, None -> c
+      | Some (_, s1), (Some (_, s2) as c2) when s2 > s1 -> c2
+      | c1, _ -> c1)
+
+let run ?(respect_termination = true) ~task ~picker ~max_rounds protocol =
+  let n = Affine_task.n task in
+  let decisions = Array.make n None in
+  let snapshots = ref [] in
+  let rounds_used = ref 0 in
+  let init pid =
+    let state = protocol.init pid in
+    let memory = Array.make n None in
+    (* the first write (sequence number 1) is the initial value *)
+    memory.(pid) <- Some (protocol.write_value state, 1);
+    { memory; pending_seq = 1; terminated = false; state }
+  in
+  let step pid v visible =
+    ignore v;
+    let self = List.assoc pid visible in
+    if self.terminated then self
+    else begin
+      (* 1. merge all visible memory copies *)
+      let memory =
+        List.fold_left
+          (fun acc (_, c) -> merge n acc c.memory)
+          (Array.copy self.memory) visible
+      in
+      (* 2. the pending write is complete when every visible
+            non-terminated process has incorporated it *)
+      let complete =
+        List.for_all
+          (fun (j, c) ->
+            j = pid
+            || (respect_termination && c.terminated)
+            || match c.memory.(pid) with
+               | Some (_, s) -> s >= self.pending_seq
+               | None -> false)
+          visible
+      in
+      if not complete then { self with memory }
+      else begin
+        (* deliver the snapshot, let the protocol react, maybe decide,
+           and issue the next write *)
+        snapshots := (pid, Array.copy memory) :: !snapshots;
+        let state = protocol.on_snapshot self.state memory in
+        match protocol.decide state with
+        | Some out ->
+          decisions.(pid) <- Some out;
+          { self with memory; state; terminated = true }
+        | None ->
+          let seq = self.pending_seq + 1 in
+          memory.(pid) <- Some (protocol.write_value state, seq);
+          { memory; pending_seq = seq; terminated = false; state }
+      end
+    end
+  in
+  let states = ref (Array.init n init) in
+  (try
+     for round = 1 to max_rounds do
+       rounds_used := round;
+       let arr = !states in
+       states :=
+         Affine_runner.run task ~rounds:1 ~picker:(fun ~round:_ c ->
+             picker ~round c)
+           ~init:(fun pid -> arr.(pid))
+           ~step;
+       if Array.for_all (fun c -> c.terminated) !states then raise Exit
+     done
+   with Exit -> ());
+  {
+    decisions =
+      Array.to_list decisions
+      |> List.mapi (fun pid d -> (pid, d))
+      |> List.filter_map (function pid, Some d -> Some (pid, d) | _ -> None);
+    rounds_used = !rounds_used;
+    snapshots = List.rev !snapshots;
+  }
+
+let seq_of = function Some (_, s) -> s | None -> 0
+
+let leq a b =
+  Array.for_all2 (fun x y -> seq_of x <= seq_of y) a b
+
+let snapshots_contained outcome =
+  List.for_all
+    (fun (_, s1) ->
+      List.for_all
+        (fun (_, s2) -> leq s1 s2 || leq s2 s1)
+        outcome.snapshots)
+    outcome.snapshots
+
+let collect_inputs_protocol ~threshold ~inputs =
+  {
+    init = (fun pid -> (pid, [ inputs pid ]));
+    (* a process only ever (re-)writes its own input *)
+    write_value = (fun (pid, _) -> inputs pid);
+    on_snapshot =
+      (fun (pid, _) memory ->
+        let vals =
+          Array.to_list memory
+          |> List.filter_map (Option.map fst)
+        in
+        (pid, vals));
+    decide =
+      (fun (_, vals) ->
+        if List.length vals >= threshold then Some vals else None);
+  }

@@ -1,0 +1,77 @@
+(** Simulating atomic-snapshot shared memory in the affine model [R_A*]
+    (Section 6.1, after Gafni–Rajsbaum [16]).
+
+    Each iteration of the affine task delivers to every process the
+    end-of-previous-iteration states of the processes in its view.
+    States carry a copy of the simulated single-writer memory (one
+    (value, sequence-number) cell per process); merging visible copies
+    pointwise by highest sequence number simulates reads, and a write
+    completes once every {e non-terminated} visible process is known to
+    have incorporated it.
+
+    The fast/slow mechanism of §6.1 is what makes this live: a "fast"
+    process (small views) never observes slower ones and would block
+    their writes forever — so a process that has decided marks itself
+    terminated (the paper's ⊥ input), after which slow processes no
+    longer wait for it.
+
+    The test suite verifies the simulated memory is atomic-snapshot
+    consistent: completed snapshot vectors are totally ordered by
+    pointwise sequence numbers (containment), include the writer's own
+    latest completed write (self-inclusion), and grow monotonically per
+    process. *)
+
+open Fact_affine
+
+type value = int
+
+(** A full-information protocol against the simulated memory: what to
+    write, how to react to a completed snapshot, when to decide. *)
+type ('st, 'out) protocol = {
+  init : int -> 'st;
+  write_value : 'st -> value;
+  (** The pending write (re-issued while incomplete). *)
+
+  on_snapshot : 'st -> (value * int) option array -> 'st;
+  (** Called each time a write completes, with the merged memory
+      ((value, seqno) per cell) — the simulated snapshot. *)
+
+  decide : 'st -> 'out option;
+  (** [Some] terminates the process's simulation (it then publishes ⊥
+      and only forwards information). *)
+}
+
+type 'out outcome = {
+  decisions : (int * 'out) list;        (** by increasing process id *)
+  rounds_used : int;
+  snapshots : (int * (value * int) option array) list;
+      (** every completed snapshot, in completion order — for
+          consistency checking *)
+}
+
+val run :
+  ?respect_termination:bool ->
+  task:Affine_task.t ->
+  picker:Affine_runner.picker ->
+  max_rounds:int ->
+  ('st, 'out) protocol ->
+  'out outcome
+(** Runs the protocol for every process in [R_A*] until all decide or
+    [max_rounds] iterations elapse.
+
+    [respect_termination] (default [true]) is the §6.1 ⊥ mechanism: a
+    write completes without waiting for terminated processes. Setting
+    it to [false] is an ablation — slow processes then wait for fast
+    processes that will never look at them again, and liveness breaks
+    (verified by the test suite). *)
+
+val snapshots_contained : 'out outcome -> bool
+(** Containment of completed snapshot vectors under pointwise seqno
+    comparison — the atomic-snapshot consistency condition. *)
+
+val collect_inputs_protocol :
+  threshold:int -> inputs:(int -> value) -> (int * value list, value list) protocol
+(** The input-collection task: write your input, decide once the merged
+    memory holds at least [threshold] inputs. Solvable in the
+    t-resilient model for [threshold ≤ n − t]; running it in
+    [R_{A(t-res)}*] exercises the fast/slow mechanism end-to-end. *)

@@ -1,0 +1,1 @@
+lib/tasks/approximate_agreement.ml: Affine_task Complex Fact_affine Fact_topology Fun List Printf Pset Simplex Solver Task Vertex

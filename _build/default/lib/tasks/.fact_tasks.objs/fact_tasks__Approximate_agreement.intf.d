@@ -1,0 +1,1 @@
+lib/tasks/approximate_agreement.mli: Task

@@ -1,0 +1,1 @@
+lib/tasks/mu_map.ml: Complex Fact_affine Fact_topology Hashtbl List Mu Pset Simplex Vertex

@@ -1,0 +1,1 @@
+lib/tasks/mu_map.mli: Agreement Complex Fact_adversary Fact_topology Solver Vertex

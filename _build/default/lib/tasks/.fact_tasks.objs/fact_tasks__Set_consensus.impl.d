@@ -1,0 +1,1 @@
+lib/tasks/set_consensus.ml: Complex Fact_topology List Printf Pset Simplex Stdlib Task Vertex

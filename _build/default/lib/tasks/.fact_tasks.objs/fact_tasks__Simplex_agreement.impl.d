@@ -1,0 +1,1 @@
+lib/tasks/simplex_agreement.ml: Affine_task Chr Complex Fact_affine Fact_topology Printf Simplex Task

@@ -1,0 +1,1 @@
+lib/tasks/simplex_agreement.mli: Affine_task Fact_affine Fact_topology Simplex Task

@@ -1,0 +1,1 @@
+lib/tasks/solver.ml: Array Complex Fact_topology Hashtbl List Option Simplex Task Vertex

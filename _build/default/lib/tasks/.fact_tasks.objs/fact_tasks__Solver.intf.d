@@ -1,0 +1,1 @@
+lib/tasks/solver.mli: Complex Fact_topology Task Vertex

@@ -1,0 +1,1 @@
+lib/tasks/task.ml: Complex Fact_topology List Simplex Vertex

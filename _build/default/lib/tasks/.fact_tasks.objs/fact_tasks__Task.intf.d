@@ -1,0 +1,1 @@
+lib/tasks/task.mli: Complex Fact_topology Simplex

@@ -1,0 +1,65 @@
+open Fact_topology
+open Fact_affine
+
+let values_window ~range =
+  (* output facets: all assignments inside a window {m, m+1} *)
+  List.init range (fun m -> [ m; m + 1 ])
+
+let outputs_complex ~n ~range =
+  let rec assignments procs window =
+    match procs with
+    | [] -> [ [] ]
+    | p :: rest ->
+      let tails = assignments rest window in
+      List.concat_map
+        (fun v -> List.map (fun t -> Vertex.input p v :: t) tails)
+        window
+  in
+  let procs = List.init n Fun.id in
+  let facets =
+    List.concat_map (fun w -> assignments procs w) (values_window ~range)
+    |> List.map Simplex.make
+  in
+  Complex.of_facets ~n facets
+
+let bounds rho =
+  let vals = List.map Vertex.value (Simplex.vertices rho) in
+  (List.fold_left min max_int vals, List.fold_left max min_int vals)
+
+let delta ~n ~range rho =
+  let lo, hi = bounds rho in
+  let procs = Pset.to_list (Simplex.colors rho) in
+  let rec assignments procs window =
+    match procs with
+    | [] -> [ [] ]
+    | p :: rest ->
+      let tails = assignments rest window in
+      List.concat_map
+        (fun v -> List.map (fun t -> Vertex.input p v :: t) tails)
+        window
+  in
+  let windows =
+    values_window ~range
+    |> List.map (List.filter (fun v -> v >= lo && v <= hi))
+    |> List.filter (fun w -> w <> [])
+  in
+  let facets =
+    List.concat_map (fun w -> assignments procs w) windows
+    |> List.map Simplex.make
+  in
+  Complex.of_facets ~n facets
+
+let task ~n ~range =
+  if range < 1 then invalid_arg "Approximate_agreement.task: range < 1";
+  Task.make
+    ~name:(Printf.sprintf "approx-agreement(range=%d)" range)
+    ~inputs:(Task.full_inputs ~n ~values:[ 0; range ])
+    ~outputs:(outputs_complex ~n ~range)
+    ~delta:(delta ~n ~range)
+
+let minimal_rounds ~n ~range ~max_rounds =
+  let t = task ~n ~range in
+  Solver.solvable_by_iteration
+    ~task_of_round:(fun ell ->
+      Affine_task.apply (Affine_task.full_chr ~n ~ell) t.Task.inputs)
+    ~task:t ~max_rounds

@@ -1,0 +1,22 @@
+(** Discrete approximate agreement.
+
+    Processes start with input [0] or [range] and must output integers
+    in [0 .. range] that (validity) lie between the minimum and maximum
+    of the participants' inputs and (agreement) differ pairwise by at
+    most 1.
+
+    The task is wait-free solvable but — unlike set consensus — needs
+    an input-dependent {e number of iterations}: one round of [Chr]
+    shrinks the reachable interval by a factor 3 (for two processes),
+    so the minimal subdivision depth for a simplicial map is
+    [⌈log₃ range⌉]. The test suite verifies this staircase with the
+    {!Solver}, giving a quantitative illustration of why Theorem 16
+    quantifies over the iteration count ℓ. *)
+
+val task : n:int -> range:int -> Task.t
+(** Inputs: every assignment of [{0, range}] to the processes.
+    Raises [Invalid_argument] if [range < 1]. *)
+
+val minimal_rounds : n:int -> range:int -> max_rounds:int -> int option
+(** The smallest ℓ ≤ [max_rounds] such that a map [Chr^ℓ(I) → O]
+    exists (wait-free solvability at depth ℓ). *)

@@ -1,0 +1,24 @@
+open Fact_topology
+open Fact_affine
+
+let decided_value v ~leader =
+  let base = Simplex.base_simplex (Simplex.of_vertex v) in
+  match Simplex.find_color leader base with
+  | Some w -> Vertex.value w
+  | None -> raise Not_found
+
+let set_consensus_map ~alpha ~protocol =
+  let q = Pset.full (Complex.n protocol) in
+  let seen = Hashtbl.create 256 in
+  List.concat_map
+    (fun f ->
+      List.filter_map
+        (fun v ->
+          if Hashtbl.mem seen v then None
+          else begin
+            Hashtbl.add seen v ();
+            let leader = Mu.leader alpha ~q v in
+            Some (v, Vertex.input (Vertex.proc v) (decided_value v ~leader))
+          end)
+        (Simplex.vertices f))
+    (Complex.facets protocol)

@@ -1,0 +1,26 @@
+(** The constructive direction of FACT for set consensus.
+
+    For a fair adversary with agreement function α and any
+    [k ≥ setcon(A)], one iteration of [R_A] solves k-set consensus:
+    each process decides the input value of its leader [µ_Π(v)]
+    (Section 6). Property 9 makes the leader's input visible, and
+    Property 10 bounds the distinct decisions by [α(Π) = setcon(A) ≤ k].
+
+    This module builds that simplicial map explicitly on a protocol
+    complex [R_A(I)]; {!Solver.check_map} certifies it — giving a
+    machine-checked witness of the possibility half of Theorem 16 on
+    the set-consensus family. *)
+
+open Fact_topology
+open Fact_adversary
+
+val set_consensus_map :
+  alpha:Agreement.t -> protocol:Complex.t -> Solver.assignment
+(** [φ(v) = (χ(v), input of µ_Π(v))] for every vertex of the protocol
+    complex (which must be an [R_A] pattern applied to an input
+    complex, i.e. level-2 vertices). *)
+
+val decided_value : Vertex.t -> leader:int -> int
+(** The input value of [leader] as recorded in the vertex's view.
+    Raises [Not_found] if the leader is outside the vertex's
+    carrier — Property 9 guarantees this never happens for µ-leaders. *)

@@ -1,0 +1,73 @@
+open Fact_topology
+
+let distinct_values simplex =
+  Simplex.vertices simplex
+  |> List.map Vertex.value
+  |> List.sort_uniq Stdlib.compare
+
+let outputs_complex ~n ~k ~values =
+  (* Facets: full-dimensional chromatic assignments with <= k distinct
+     values. Smaller simplices arise as their faces. *)
+  let rec assignments i =
+    if i = n then [ [] ]
+    else
+      let rest = assignments (i + 1) in
+      List.concat_map
+        (fun v -> List.map (fun a -> Vertex.input i v :: a) rest)
+        values
+  in
+  let facets =
+    assignments 0
+    |> List.map Simplex.make
+    |> List.filter (fun s -> List.length (distinct_values s) <= k)
+  in
+  Complex.of_facets ~n facets
+
+(* ∆(ρ): every chromatic assignment of proposed values to the
+   participants χ(ρ) with at most k distinct values (faces included by
+   closure). *)
+let delta ~n ~k rho =
+  let procs = Pset.to_list (Simplex.colors rho) in
+  let proposed = distinct_values rho in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | p :: rest ->
+      let tails = assignments rest in
+      List.concat_map
+        (fun v -> List.map (fun t -> Vertex.input p v :: t) tails)
+        proposed
+  in
+  let facets =
+    assignments procs
+    |> List.map Simplex.make
+    |> List.filter (fun s -> List.length (distinct_values s) <= k)
+  in
+  Complex.of_facets ~n facets
+
+let task ~n ~k ~values =
+  if List.length values < k + 1 then
+    invalid_arg "Set_consensus.task: need |V| >= k + 1";
+  let outputs = outputs_complex ~n ~k ~values in
+  Task.make
+    ~name:(Printf.sprintf "%d-set-consensus" k)
+    ~inputs:(Task.full_inputs ~n ~values)
+    ~outputs
+    ~delta:(delta ~n ~k)
+
+let task_fixed ~n ~k ~inputs =
+  if List.length inputs <> n then
+    invalid_arg "Set_consensus.task_fixed: need one input per process";
+  let values = List.sort_uniq Stdlib.compare inputs in
+  let outputs = outputs_complex ~n ~k ~values in
+  Task.make
+    ~name:(Printf.sprintf "%d-set-consensus(fixed)" k)
+    ~inputs:(Task.fixed_inputs inputs)
+    ~outputs
+    ~delta:(delta ~n ~k)
+
+let consensus ~n ~values = task ~n ~k:1 ~values
+
+let decisions_ok ~k ~proposals ~decisions =
+  let proposed = List.map snd proposals in
+  List.for_all (fun (_, v) -> List.mem v proposed) decisions
+  && List.length (List.sort_uniq Stdlib.compare (List.map snd decisions)) <= k

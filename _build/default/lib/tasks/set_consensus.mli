@@ -1,0 +1,23 @@
+(** The k-set consensus task (Section 2, after Chaudhuri [7]).
+
+    Processes propose values from a set [V] (with [|V| ≥ k + 1]) and
+    decide proposed values so that at most [k] distinct values are
+    decided. [k = 1] is consensus. *)
+
+
+val task : n:int -> k:int -> values:int list -> Task.t
+(** Inputs: all assignments [Π → values]. Outputs: all chromatic
+    simplices of decided values with at most [k] distinct values.
+    [∆(ρ)]: outputs on χ(ρ) whose values were proposed in ρ. *)
+
+val task_fixed : n:int -> k:int -> inputs:int list -> Task.t
+(** The task restricted to a single input vector — the sub-task used
+    for impossibility arguments (if the full task were solvable, so
+    would every restriction be). *)
+
+val consensus : n:int -> values:int list -> Task.t
+
+val decisions_ok : k:int -> proposals:(int * int) list ->
+  decisions:(int * int) list -> bool
+(** Operational check used by the runtime experiments: every decision
+    is a proposal, and at most [k] distinct values are decided. *)

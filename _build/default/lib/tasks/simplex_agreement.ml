@@ -1,0 +1,13 @@
+open Fact_topology
+open Fact_affine
+
+let of_affine l =
+  let n = Affine_task.n l in
+  Task.make
+    ~name:(Printf.sprintf "simplex-agreement(ell=%d)" (Affine_task.ell l))
+    ~inputs:(Chr.standard n)
+    ~outputs:(Affine_task.complex l)
+    ~delta:(fun rho -> Affine_task.delta l (Simplex.colors rho))
+
+let carrier_respected l sigma =
+  Complex.mem sigma (Affine_task.complex l)

@@ -1,0 +1,16 @@
+(** Simplex agreement as a task (Section 2).
+
+    Processes start on the vertices of [s] and must output vertices of
+    a sub-complex [L ⊆ Chr^ℓ s] forming a simplex whose carrier is
+    inside the participating face — i.e. the task form [(s, L, ∆)] of
+    an affine task. *)
+
+open Fact_topology
+open Fact_affine
+
+val of_affine : Affine_task.t -> Task.t
+(** The task [(s, L, ∆)] with [∆(σ) = L ∩ Chr^ℓ(σ)]. *)
+
+val carrier_respected : Affine_task.t -> Simplex.t -> bool
+(** Does an output simplex satisfy carrier inclusion for the standard
+    simplex inputs? *)

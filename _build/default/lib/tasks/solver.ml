@@ -1,0 +1,183 @@
+open Fact_topology
+
+type assignment = (Vertex.t * Vertex.t) list
+
+type verdict = Solvable of assignment | Unsolvable
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Vertex.t
+
+  let equal = Vertex.equal
+  let hash = Vertex.hash
+end)
+
+(* Facet-major vertex order: keeps consecutive decision variables in
+   shared facets, which makes the per-facet pruning bite early. *)
+let vertex_order facets =
+  let seen = Vtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun v ->
+          if not (Vtbl.mem seen v) then begin
+            Vtbl.add seen v ();
+            order := v :: !order
+          end)
+        (Simplex.vertices f))
+    facets;
+  Array.of_list (List.rev !order)
+
+(* Backtracking with forward checking: assigning a vertex filters the
+   domains of every unassigned vertex sharing a facet with it (the
+   partial facet image plus the candidate must remain a simplex of the
+   facet's ∆). Domain wipe-out backtracks immediately, which avoids
+   the thrashing a chronological search suffers on equality-like
+   constraints such as consensus. *)
+let solve ~protocol ~task =
+  let facets = Complex.facets protocol in
+  if facets = [] then invalid_arg "Solver.solve: empty protocol complex";
+  let Task.{ delta; _ } = task in
+  (* ∆ of a simplex depends only on its input carrier; cache it. *)
+  let delta_cache = Simplex.Tbl.create 64 in
+  let delta_of simplex =
+    let key = Simplex.base_simplex simplex in
+    match Simplex.Tbl.find_opt delta_cache key with
+    | Some c -> c
+    | None ->
+      let c = delta key in
+      Simplex.Tbl.replace delta_cache key c;
+      c
+  in
+  let order = vertex_order facets in
+  let nv = Array.length order in
+  let index = Vtbl.create nv in
+  Array.iteri (fun i v -> Vtbl.replace index v i) order;
+  (* facets as index arrays, with their ∆ *)
+  let facet_data =
+    List.map
+      (fun f ->
+        ( Array.of_list
+            (List.map (fun v -> Vtbl.find index v) (Simplex.vertices f)),
+          delta_of f ))
+      facets
+  in
+  let facets_of = Array.make nv [] in
+  List.iter
+    (fun ((idxs, _) as fd) ->
+      Array.iter (fun i -> facets_of.(i) <- fd :: facets_of.(i)) idxs)
+    facet_data;
+  (* mutable candidate domains *)
+  let domains =
+    Array.map
+      (fun v ->
+        let allowed = delta_of (Simplex.of_vertex v) in
+        ref
+          (Complex.vertices allowed
+          |> List.filter (fun o -> Vertex.proc o = Vertex.proc v)))
+      order
+  in
+  let image = Array.make nv None in
+  (* the simplex formed by the current image of facet [idxs], plus
+     optionally [extra] at position [at] *)
+  let partial_image idxs ?at ?extra () =
+    let vs = ref [] in
+    Array.iter
+      (fun i ->
+        match image.(i) with
+        | Some o -> vs := o :: !vs
+        | None -> (
+          match (at, extra) with
+          | Some j, Some o when j = i -> vs := o :: !vs
+          | _ -> ()))
+      idxs;
+    Simplex.make !vs
+  in
+  let consistent i cand =
+    List.for_all
+      (fun (idxs, d) ->
+        Complex.mem (partial_image idxs ~at:i ~extra:cand ()) d)
+      facets_of.(i)
+  in
+  (* trail of domain shrinks for backtracking *)
+  let prune_neighbors i =
+    let touched = ref [] in
+    let ok =
+      List.for_all
+        (fun (idxs, d) ->
+          Array.for_all
+            (fun j ->
+              if j = i || image.(j) <> None then true
+              else begin
+                let before = !(domains.(j)) in
+                let after =
+                  List.filter
+                    (fun cand ->
+                      Complex.mem (partial_image idxs ~at:j ~extra:cand ()) d)
+                    before
+                in
+                if List.length after < List.length before then begin
+                  touched := (j, before) :: !touched;
+                  domains.(j) := after
+                end;
+                after <> []
+              end)
+            idxs)
+        facets_of.(i)
+    in
+    (ok, !touched)
+  in
+  let undo touched =
+    List.iter (fun (j, before) -> domains.(j) := before) touched
+  in
+  let rec search i =
+    if i = nv then true
+    else
+      List.exists
+        (fun cand ->
+          if not (consistent i cand) then false
+          else begin
+            image.(i) <- Some cand;
+            let ok, touched = prune_neighbors i in
+            let solved = ok && search (i + 1) in
+            if not solved then begin
+              undo touched;
+              image.(i) <- None
+            end;
+            solved
+          end)
+        !(domains.(i))
+  in
+  if search 0 then
+    Solvable
+      (Array.to_list (Array.mapi (fun i v -> (v, Option.get image.(i))) order))
+  else Unsolvable
+
+let check_map ~protocol ~task assignment =
+  let Task.{ delta; outputs; _ } = task in
+  let lookup v = List.find_opt (fun (x, _) -> Vertex.equal x v) assignment in
+  let chromatic =
+    List.for_all (fun (v, o) -> Vertex.proc v = Vertex.proc o) assignment
+  in
+  chromatic
+  && List.for_all
+       (fun f ->
+         match
+           List.map (fun v -> Option.map snd (lookup v)) (Simplex.vertices f)
+         with
+         | imgs when List.for_all Option.is_some imgs ->
+           let simplex = Simplex.make (List.map Option.get imgs) in
+           Complex.mem simplex outputs
+           && Complex.mem simplex (delta (Simplex.base_simplex f))
+         | _ -> false)
+       (Complex.facets protocol)
+
+let solvable_by_iteration ~task_of_round ~task ~max_rounds =
+  let rec go r =
+    if r > max_rounds then None
+    else
+      match solve ~protocol:(task_of_round r) ~task with
+      | Solvable _ -> Some r
+      | Unsolvable -> go (r + 1)
+  in
+  go 1

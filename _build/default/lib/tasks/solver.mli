@@ -1,0 +1,36 @@
+(** FACT solvability decisions: existence of a chromatic simplicial map
+    [φ : K → O] carried by ∆ (Theorem 16 / the classical ACT).
+
+    [K] is a protocol complex — [Chr^ℓ(I)] or [R_A^ℓ(I)], built with
+    {!Fact_affine.Affine_task.apply} — and the map must send every
+    facet [F ∈ K] to a simplex of [∆(carrier(F, I))]. The decision is
+    by backtracking with forward pruning: partial images of every facet
+    must stay inside the corresponding ∆. Positive answers return the
+    map; negative answers are exhaustive for the given [K] (i.e. for
+    the given number of iterations). *)
+
+open Fact_topology
+
+type assignment = (Vertex.t * Vertex.t) list
+(** The simplicial map as an association list: protocol vertex →
+    output vertex (same color). *)
+
+type verdict =
+  | Solvable of assignment
+  | Unsolvable
+
+val solve : protocol:Complex.t -> task:Task.t -> verdict
+(** Decides the existence of a chromatic simplicial map carried by ∆.
+    Raises [Invalid_argument] if the protocol complex is empty. *)
+
+val check_map : protocol:Complex.t -> task:Task.t -> assignment -> bool
+(** Validates a candidate map: chromatic, simplicial, and carried by ∆
+    on every facet. Used to certify [Solvable] verdicts and externally
+    constructed maps (e.g. the µ-based ones). *)
+
+val solvable_by_iteration :
+  task_of_round:(int -> Complex.t) -> task:Task.t -> max_rounds:int ->
+  int option
+(** Searches increasing iteration counts [1 … max_rounds], returning
+    the first round count whose protocol complex admits a map, if
+    any. *)

@@ -1,0 +1,38 @@
+open Fact_topology
+
+type t = {
+  name : string;
+  inputs : Complex.t;
+  outputs : Complex.t;
+  delta : Simplex.t -> Complex.t;
+}
+
+let make ~name ~inputs ~outputs ~delta = { name; inputs; outputs; delta }
+
+let is_carrier_map t =
+  let simplices = Complex.all_simplices t.inputs in
+  List.for_all
+    (fun rho ->
+      List.for_all
+        (fun sigma ->
+          (not (Simplex.subset rho sigma))
+          || Complex.subcomplex (t.delta rho) (t.delta sigma))
+        simplices)
+    simplices
+
+let full_inputs ~n ~values =
+  if values = [] then invalid_arg "Task.full_inputs: no values";
+  let rec assignments i =
+    if i = n then [ [] ]
+    else
+      let rest = assignments (i + 1) in
+      List.concat_map
+        (fun v -> List.map (fun a -> Vertex.input i v :: a) rest)
+        values
+  in
+  Complex.of_facets ~n (List.map Simplex.make (assignments 0))
+
+let fixed_inputs values =
+  let n = List.length values in
+  Complex.of_facets ~n
+    [ Simplex.make (List.mapi Vertex.input values) ]

@@ -1,0 +1,33 @@
+(** Distributed tasks [(I, O, ∆)] (Section 2).
+
+    Inputs and outputs are chromatic complexes whose vertices are
+    [Vertex.Input {proc; value}] pairs; [∆] is a carrier map from input
+    simplices to sub-complexes of [O]: [ρ ⊆ σ ⟹ ∆(ρ) ⊆ ∆(σ)]. *)
+
+open Fact_topology
+
+type t = {
+  name : string;
+  inputs : Complex.t;
+  outputs : Complex.t;
+  delta : Simplex.t -> Complex.t;
+}
+
+val make :
+  name:string ->
+  inputs:Complex.t ->
+  outputs:Complex.t ->
+  delta:(Simplex.t -> Complex.t) ->
+  t
+
+val is_carrier_map : t -> bool
+(** Checks monotonicity of ∆ on all pairs of nested input simplices
+    (exponential in the input complex; meant for tests). *)
+
+val full_inputs : n:int -> values:int list -> Complex.t
+(** The input complex of all assignments of a value to each process:
+    one facet per function [Π → values]. *)
+
+val fixed_inputs : int list -> Complex.t
+(** A single-facet input complex: process [i] gets the i-th value of
+    the list. *)

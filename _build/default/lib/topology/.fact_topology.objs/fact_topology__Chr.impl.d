@@ -1,0 +1,1 @@
+lib/topology/chr.ml: Complex List Opart Pset Simplex Vertex

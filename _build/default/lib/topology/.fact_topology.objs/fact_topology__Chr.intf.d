@@ -1,0 +1,1 @@
+lib/topology/chr.mli: Complex Opart Simplex

@@ -1,0 +1,1 @@
+lib/topology/complex.ml: Format Hashtbl List Option Pset Simplex Vertex

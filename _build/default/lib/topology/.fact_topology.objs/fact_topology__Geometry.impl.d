@@ -1,0 +1,1 @@
+lib/topology/geometry.ml: Array Complex List Simplex Vertex

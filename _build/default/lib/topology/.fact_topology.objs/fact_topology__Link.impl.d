@@ -1,0 +1,1 @@
+lib/topology/link.ml: Array Complex Fun Hashtbl List Simplex

@@ -1,0 +1,1 @@
+lib/topology/opart.ml: Array Format List Option Pset Random Stdlib

@@ -1,0 +1,1 @@
+lib/topology/opart.mli: Format Pset Random

@@ -1,0 +1,1 @@
+lib/topology/pset.ml: Format Hashtbl List Printf Stdlib String

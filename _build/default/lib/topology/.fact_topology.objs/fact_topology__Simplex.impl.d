@@ -1,0 +1,1 @@
+lib/topology/simplex.ml: Format Hashtbl List Map Pset Set Vertex

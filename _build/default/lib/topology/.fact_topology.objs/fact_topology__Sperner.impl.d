@@ -1,0 +1,1 @@
+lib/topology/sperner.ml: Complex Hashtbl List Pset Random Simplex Vertex

@@ -1,0 +1,1 @@
+lib/topology/vertex.ml: Format Hashtbl List Pset Stdlib

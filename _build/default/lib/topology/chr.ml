@@ -1,0 +1,65 @@
+let standard n =
+  let vs = List.init n Vertex.base in
+  Complex.of_facets ~n [ Simplex.make vs ]
+
+let facet_of_run tau run =
+  let vs =
+    List.map
+      (fun (p, view) -> Vertex.deriv p (Simplex.restrict tau view :> Vertex.t list))
+      (Opart.views run)
+  in
+  Simplex.make vs
+
+let subdivide_simplex tau =
+  let runs = Opart.enumerate (Simplex.colors tau) in
+  List.map (facet_of_run tau) runs
+
+let subdivide k =
+  let gens = List.concat_map subdivide_simplex (Complex.facets k) in
+  Complex.of_facets ~n:(Complex.n k) gens
+
+let rec iterate m k = if m <= 0 then k else iterate (m - 1) (subdivide k)
+
+let facet_of_runs tau runs = List.fold_left facet_of_run tau runs
+
+let run_of_facet sigma =
+  let pairs =
+    List.map
+      (fun v ->
+        match v with
+        | Vertex.Deriv { proc; carrier } ->
+          (proc, Simplex.colors (Simplex.make carrier))
+        | Vertex.Input _ ->
+          invalid_arg "Chr.run_of_facet: base-level vertex")
+      (Simplex.vertices sigma)
+  in
+  match Opart.of_views pairs with
+  | Some run -> run
+  | None -> invalid_arg "Chr.run_of_facet: not a full facet of Chr"
+
+let carrier = Simplex.carrier
+
+let is_simplex_of_chr sigma =
+  let entries =
+    List.map
+      (fun v ->
+        match v with
+        | Vertex.Deriv { proc; carrier } -> (proc, Simplex.make carrier)
+        | Vertex.Input _ ->
+          invalid_arg "Chr.is_simplex_of_chr: base-level vertex")
+      (Simplex.vertices sigma)
+  in
+  (* containment: carriers pairwise ordered by inclusion;
+     immediacy: c_i ∈ χ(σ_j) implies σ_i ⊆ σ_j;
+     self-inclusion: c_i ∈ χ(σ_i). *)
+  List.for_all
+    (fun (ci, si) ->
+      Pset.mem ci (Simplex.colors si)
+      && List.for_all
+           (fun (_, sj) -> Simplex.subset si sj || Simplex.subset sj si)
+           entries
+      && List.for_all
+           (fun (_, sj) ->
+             (not (Pset.mem ci (Simplex.colors sj))) || Simplex.subset si sj)
+           entries)
+    entries

@@ -1,0 +1,43 @@
+(** The standard chromatic subdivision [Chr] and its iterations.
+
+    Facets of [Chr τ] for a simplex τ correspond to ordered set
+    partitions (immediate-snapshot runs) of χ(τ): the process in block
+    [Bj] is mapped to the vertex [(p, τ|B1∪…∪Bj)]. Applying this to
+    every facet of a complex [K] yields [Chr K]; boundary faces agree,
+    so the result is a complex (Kozlov 2012 shows it is a genuine
+    subdivision). *)
+
+val standard : int -> Complex.t
+(** The standard (n−1)-simplex [s] as a one-facet complex on colors
+    [0..n-1], all inputs 0. *)
+
+val subdivide_simplex : Simplex.t -> Simplex.t list
+(** Facets of [Chr τ], one per ordered partition of χ(τ). *)
+
+val subdivide : Complex.t -> Complex.t
+(** [Chr K]. *)
+
+val iterate : int -> Complex.t -> Complex.t
+(** [iterate m K] = [Chr^m K]. [iterate 0] is the identity. *)
+
+val facet_of_run : Simplex.t -> Opart.t -> Simplex.t
+(** [facet_of_run τ run]: the facet of [Chr τ] corresponding to the
+    IS run [run], which must be an ordered partition of χ(τ). *)
+
+val facet_of_runs : Simplex.t -> Opart.t list -> Simplex.t
+(** [facet_of_runs τ [r1; …; rm]]: the facet of [Chr^m τ] reached by
+    executing the IS runs [r1, …, rm] in order (each a full ordered
+    partition of χ(τ)). *)
+
+val run_of_facet : Simplex.t -> Opart.t
+(** Inverse of {!facet_of_run}: recovers the ordered partition from a
+    facet of [Chr τ] (any simplex all of whose vertex carriers cover
+    exactly its colors). Raises [Invalid_argument] if the simplex is
+    not such a facet. *)
+
+val carrier : Simplex.t -> Simplex.t
+(** Carrier of a simplex of [Chr K] in [K] (= {!Simplex.carrier}). *)
+
+val is_simplex_of_chr : Simplex.t -> bool
+(** Checks the containment and immediacy conditions defining simplices
+    of [Chr K] over vertices [(c_i, σ_i)] (Section 2 / Appendix A). *)

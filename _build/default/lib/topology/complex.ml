@@ -1,0 +1,148 @@
+type t = {
+  n : int;
+  facets : Simplex.Set.t;
+  mutable closure_cache : Simplex.Set.t option;
+}
+
+(* Keep only maximal simplices among the generators. A simplex can
+   only be subsumed by one of strictly larger dimension, so when all
+   generators share a dimension (the common case: facets of a pure
+   complex) this is free; otherwise only larger buckets are probed. *)
+let maximalize gens =
+  let by_dim = Hashtbl.create 8 in
+  Simplex.Set.iter
+    (fun s ->
+      let d = Simplex.dim s in
+      Hashtbl.replace by_dim d
+        (s :: Option.value ~default:[] (Hashtbl.find_opt by_dim d)))
+    gens;
+  let dims = Hashtbl.fold (fun d _ acc -> d :: acc) by_dim [] in
+  if List.length dims <= 1 then gens
+  else
+    Simplex.Set.filter
+      (fun s ->
+        let d = Simplex.dim s in
+        not
+          (List.exists
+             (fun d' ->
+               d' > d
+               && List.exists (Simplex.subset s)
+                    (Hashtbl.find by_dim d'))
+             dims))
+      gens
+
+let of_facets ~n gens =
+  let gens =
+    List.filter (fun s -> not (Simplex.is_empty s)) gens
+    |> Simplex.Set.of_list
+  in
+  { n; facets = maximalize gens; closure_cache = None }
+
+let n t = t.n
+let facets t = Simplex.Set.elements t.facets
+let facet_set t = t.facets
+let facet_count t = Simplex.Set.cardinal t.facets
+let is_empty t = Simplex.Set.is_empty t.facets
+
+let mem s t =
+  Simplex.is_empty s && not (is_empty t)
+  || Simplex.Set.exists (fun f -> Simplex.subset s f) t.facets
+
+let closure_set t =
+  match t.closure_cache with
+  | Some c -> c
+  | None ->
+    let c =
+      Simplex.Set.fold
+        (fun f acc ->
+          List.fold_left
+            (fun acc face -> Simplex.Set.add face acc)
+            acc (Simplex.faces f))
+        t.facets Simplex.Set.empty
+    in
+    t.closure_cache <- Some c;
+    c
+
+let all_simplices t = Simplex.Set.elements (closure_set t)
+let simplex_count t = Simplex.Set.cardinal (closure_set t)
+
+let vertices t =
+  all_simplices t
+  |> List.filter_map (fun s ->
+         match Simplex.vertices s with [ v ] -> Some v | _ -> None)
+
+let dimension t =
+  Simplex.Set.fold (fun f acc -> max acc (Simplex.dim f)) t.facets (-1)
+
+let is_pure t =
+  let d = dimension t in
+  Simplex.Set.for_all (fun f -> Simplex.dim f = d) t.facets
+
+let is_pure_of_dim d t =
+  (not (is_empty t))
+  && dimension t = d
+  && Simplex.Set.for_all (fun f -> Simplex.dim f = d) t.facets
+
+let skeleton k t =
+  let gens =
+    all_simplices t |> List.filter (fun s -> Simplex.dim s <= k)
+  in
+  of_facets ~n:t.n gens
+
+let closure ~n gens = of_facets ~n gens
+
+let star gens t =
+  let gen_set = Simplex.Set.of_list gens in
+  all_simplices t
+  |> List.filter (fun s ->
+         List.exists (fun f -> Simplex.Set.mem f gen_set) (Simplex.faces s))
+
+let pure_complement gens t =
+  let gen_set = Simplex.Set.of_list gens in
+  let keep f =
+    not (List.exists (fun face -> Simplex.Set.mem face gen_set) (Simplex.faces f))
+  in
+  { n = t.n;
+    facets = Simplex.Set.filter keep t.facets;
+    closure_cache = None;
+  }
+
+(* The maximal face of [f] all of whose vertices have base carrier
+   inside [colors]; carriers are monotone, so this face generates the
+   restriction of the complex to the geometric face spanned by
+   [colors]. *)
+let restrict_colors colors t =
+  let gens =
+    Simplex.Set.fold
+      (fun f acc ->
+        let vs =
+          List.filter
+            (fun v -> Pset.subset (Vertex.base_carrier v) colors)
+            (Simplex.vertices f)
+        in
+        match vs with [] -> acc | _ -> Simplex.make vs :: acc)
+      t.facets []
+  in
+  of_facets ~n:t.n gens
+
+let euler_characteristic t =
+  Simplex.Set.fold
+    (fun s acc -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
+    (closure_set t) 0
+
+let filter_facets p t =
+  { n = t.n; facets = Simplex.Set.filter p t.facets; closure_cache = None }
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Complex.union: different universes";
+  { n = a.n;
+    facets = maximalize (Simplex.Set.union a.facets b.facets);
+    closure_cache = None;
+  }
+
+let subcomplex a b = Simplex.Set.for_all (fun f -> mem f b) a.facets
+let equal a b = a.n = b.n && Simplex.Set.equal a.facets b.facets
+
+let pp_stats ppf t =
+  Format.fprintf ppf "n=%d facets=%d dim=%d pure=%b" t.n (facet_count t)
+    (dimension t) (is_pure t)

@@ -1,0 +1,87 @@
+type point = float array
+
+let rec coords ~n v =
+  match v with
+  | Vertex.Input { proc; _ } ->
+    Array.init n (fun i -> if i = proc then 1.0 else 0.0)
+  | Vertex.Deriv { proc; carrier } ->
+    let k = List.length carrier in
+    let own = 1.0 /. float_of_int ((2 * k) - 1) in
+    let other = 2.0 /. float_of_int ((2 * k) - 1) in
+    let acc = Array.make n 0.0 in
+    List.iter
+      (fun w ->
+        let c = coords ~n w in
+        let weight = if Vertex.proc w = proc then own else other in
+        Array.iteri (fun i x -> acc.(i) <- acc.(i) +. (weight *. x)) c)
+      carrier;
+    acc
+
+(* Determinant by Gaussian elimination with partial pivoting. *)
+let det m =
+  let size = Array.length m in
+  let m = Array.map Array.copy m in
+  let sign = ref 1.0 in
+  let result = ref 1.0 in
+  (try
+     for col = 0 to size - 1 do
+       (* pivot *)
+       let pivot = ref col in
+       for row = col + 1 to size - 1 do
+         if abs_float m.(row).(col) > abs_float m.(!pivot).(col) then
+           pivot := row
+       done;
+       if abs_float m.(!pivot).(col) < 1e-12 then begin
+         result := 0.0;
+         raise Exit
+       end;
+       if !pivot <> col then begin
+         let tmp = m.(col) in
+         m.(col) <- m.(!pivot);
+         m.(!pivot) <- tmp;
+         sign := -. !sign
+       end;
+       result := !result *. m.(col).(col);
+       for row = col + 1 to size - 1 do
+         let factor = m.(row).(col) /. m.(col).(col) in
+         for j = col to size - 1 do
+           m.(row).(j) <- m.(row).(j) -. (factor *. m.(col).(j))
+         done
+       done
+     done
+   with Exit -> ());
+  !sign *. !result
+
+let volume_fraction ~n sigma =
+  if Simplex.card sigma <> n then 0.0
+  else
+    let pts = List.map (coords ~n) (Simplex.vertices sigma) in
+    match pts with
+    | [] -> 0.0
+    | p0 :: rest ->
+      (* Chart: drop the last barycentric coordinate. The standard
+         simplex itself has the corners as unit vectors, so its chart
+         matrix is the identity minus nothing — determinant 1; the
+         fraction is just |det| of the difference matrix. *)
+      let m =
+        Array.of_list
+          (List.map
+             (fun p -> Array.init (n - 1) (fun i -> p.(i) -. p0.(i)))
+             rest)
+      in
+      abs_float (det m)
+
+let total_volume k =
+  let n = Complex.n k in
+  List.fold_left
+    (fun acc f -> acc +. volume_fraction ~n f)
+    0.0 (Complex.facets k)
+
+let barycenter pts =
+  match pts with
+  | [] -> invalid_arg "Geometry.barycenter: no points"
+  | p :: _ ->
+    let n = Array.length p in
+    let acc = Array.make n 0.0 in
+    List.iter (Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x)) pts;
+    Array.map (fun x -> x /. float_of_int (List.length pts)) acc

@@ -1,0 +1,34 @@
+(** Geometric realization of iterated chromatic subdivisions
+    (Appendix A).
+
+    A vertex [(i, t)] of [Chr s] is identified with the point
+
+    {v 1/(2k−1) · x_i + 2/(2k−1) · Σ_{j ∈ t, j ≠ i} x_j v}
+
+    where [k = |t|] and [x_j] are the corners of [s]; iterating the
+    formula realizes every vertex of [Chr^m s] in barycentric
+    coordinates over [s]. Kozlov's theorem (Chr is a subdivision) then
+    has a quantitative shadow: the geometric facets of [Chr^m s]
+    partition [|s|], so their volume fractions sum to 1 — verified by
+    the test suite. The volume fraction of an affine task [R_A]
+    measures "how much of the 2-round IIS space" the adversary allows. *)
+
+type point = float array
+(** Barycentric coordinates over the corners of [s] (length n, entries
+    ≥ 0 summing to 1). *)
+
+val coords : n:int -> Vertex.t -> point
+(** Realize a vertex of [Chr^m s] (or of an input complex — input
+    values are ignored, only the process matters). *)
+
+val volume_fraction : n:int -> Simplex.t -> float
+(** Volume of the geometric realization of a full-dimensional simplex,
+    as a fraction of the volume of [|s|]. 0 for degenerate or
+    lower-dimensional simplices. *)
+
+val total_volume : Complex.t -> float
+(** Sum of facet volume fractions. 1.0 (up to float error) for any
+    [Chr^m s]; the "allowed-run volume" for a sub-complex such as
+    [R_A]. *)
+
+val barycenter : point list -> point

@@ -1,0 +1,41 @@
+let link sigma k =
+  let gens =
+    List.filter_map
+      (fun f ->
+        if Simplex.subset sigma f then
+          let rest = Simplex.diff f sigma in
+          if Simplex.is_empty rest then None else Some rest
+        else None)
+      (Complex.facets k)
+  in
+  Complex.of_facets ~n:(Complex.n k) gens
+
+(* Union-find over the vertex list of the complex. *)
+let is_connected k =
+  match Complex.vertices k with
+  | [] -> true
+  | vertices ->
+    let index = Hashtbl.create (List.length vertices) in
+    List.iteri (fun i v -> Hashtbl.replace index v i) vertices;
+    let parent = Array.init (List.length vertices) Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    List.iter
+      (fun f ->
+        match List.map (fun v -> Hashtbl.find index v) (Simplex.vertices f) with
+        | [] -> ()
+        | i :: rest -> List.iter (union i) rest)
+      (Complex.facets k);
+    let root = find 0 in
+    List.for_all (fun i -> find i = root)
+      (List.init (List.length vertices) Fun.id)
+
+let disconnected_vertices k =
+  List.filter
+    (fun v -> not (is_connected (link (Simplex.of_vertex v) k)))
+    (Complex.vertices k)
+
+let is_link_connected k = disconnected_vertices k = []

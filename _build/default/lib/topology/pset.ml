@@ -1,0 +1,86 @@
+type t = int
+
+let max_processes = 62
+
+let empty = 0
+
+let check_id i =
+  if i < 0 || i >= max_processes then
+    invalid_arg (Printf.sprintf "Pset: process id %d out of range" i)
+
+let full n =
+  if n < 0 || n > max_processes then
+    invalid_arg (Printf.sprintf "Pset.full: bad universe size %d" n);
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton i = check_id i; 1 lsl i
+let mem i s = check_id i; s land (1 lsl i) <> 0
+let add i s = check_id i; s lor (1 lsl i)
+let remove i s = check_id i; s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let equal (a : int) (b : int) = a = b
+let proper_subset a b = subset a b && not (equal a b)
+let disjoint a b = a land b = 0
+let is_empty s = s = 0
+let compare (a : int) (b : int) = Stdlib.compare a b
+let hash (s : int) = Hashtbl.hash s
+
+let cardinal s =
+  let rec loop s acc = if s = 0 then acc else loop (s land (s - 1)) (acc + 1) in
+  loop s 0
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  (* index of lowest set bit *)
+  let rec loop i = if s land (1 lsl i) <> 0 then i else loop (i + 1) in
+  loop 0
+
+let max_elt s =
+  if s = 0 then raise Not_found;
+  let rec loop i = if s land (1 lsl i) <> 0 then i else loop (i - 1) in
+  loop (max_processes - 1)
+
+let choose = min_elt
+
+let fold f s acc =
+  let rec loop i acc =
+    if i >= max_processes || s lsr i = 0 then acc
+    else if s land (1 lsl i) <> 0 then loop (i + 1) (f i acc)
+    else loop (i + 1) acc
+  in
+  loop 0 acc
+
+let iter f s = fold (fun i () -> f i) s ()
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+let for_all p s = fold (fun i acc -> acc && p i) s true
+let exists p s = fold (fun i acc -> acc || p i) s false
+let filter p s = fold (fun i acc -> if p i then add i acc else acc) s empty
+
+(* Enumerate subsets of [s] by the standard submask-walk trick, then
+   reverse so the empty set comes first. *)
+let subsets s =
+  let rec loop sub acc =
+    let acc = sub :: acc in
+    if sub = 0 then acc else loop ((sub - 1) land s) acc
+  in
+  loop s []
+
+let nonempty_subsets s = List.filter (fun x -> x <> 0) (subsets s)
+
+let subsets_of_card k s = List.filter (fun x -> cardinal x = k) (subsets s)
+
+let of_mask m =
+  if m < 0 then invalid_arg "Pset.of_mask: negative mask";
+  m
+
+let to_mask s = s
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map (fun i -> "p" ^ string_of_int i) (to_list s)))
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,84 @@
+(** Finite sets of processes, represented as int-backed bitsets.
+
+    Processes are identified by integers [0 .. n-1] with [n <= 62]. A
+    [Pset.t] is immutable and supports the usual set algebra in O(1)
+    word operations. This module is the workhorse of the whole library:
+    live sets of adversaries, carriers in the standard simplex, IS
+    views, and participation sets are all [Pset.t] values. *)
+
+type t = private int
+(** A set of processes. The private representation is the bitmask
+    itself, so equality, comparison and hashing are the built-in ones on
+    [int]. *)
+
+val max_processes : int
+(** Largest supported universe size (62 on 64-bit platforms). *)
+
+val empty : t
+
+val full : int -> t
+(** [full n] is [{0, …, n-1}]. Raises [Invalid_argument] if [n] is
+    negative or exceeds {!max_processes}. *)
+
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true iff [a ⊆ b]. *)
+
+val proper_subset : t -> t -> bool
+(** [proper_subset a b] is true iff [a ⊊ b]. *)
+
+val disjoint : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val min_elt : t -> int
+(** Smallest process id in the set. Raises [Not_found] on the empty
+    set. *)
+
+val max_elt : t -> int
+(** Largest process id in the set. Raises [Not_found] on the empty
+    set. *)
+
+val choose : t -> int
+(** Deterministic choice: the smallest element. Raises [Not_found] on
+    the empty set. *)
+
+val of_list : int list -> t
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over elements in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+
+val subsets : t -> t list
+(** All [2^|s|] subsets of [s], the empty set first. *)
+
+val nonempty_subsets : t -> t list
+(** All nonempty subsets of [s]. *)
+
+val subsets_of_card : int -> t -> t list
+(** [subsets_of_card k s] lists the subsets of [s] of cardinal [k]. *)
+
+val of_mask : int -> t
+(** Unsafe-ish constructor from a raw bitmask (must be non-negative). *)
+
+val to_mask : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{p0,p2}] using process names [p<i>]. *)
+
+val to_string : t -> string

@@ -1,0 +1,99 @@
+type t = Vertex.t list
+
+let make vs =
+  let sorted = List.sort_uniq Vertex.compare vs in
+  if List.length sorted <> List.length vs then
+    invalid_arg "Simplex.make: duplicate vertex";
+  let seen =
+    List.fold_left
+      (fun acc v ->
+        let p = Vertex.proc v in
+        if Pset.mem p acc then
+          invalid_arg "Simplex.make: two vertices share a color";
+        Pset.add p acc)
+      Pset.empty sorted
+  in
+  ignore seen;
+  sorted
+
+let empty = []
+let of_vertex v = [ v ]
+let vertices t = t
+
+let colors t =
+  List.fold_left (fun acc v -> Pset.add (Vertex.proc v) acc) Pset.empty t
+
+let card = List.length
+let dim t = card t - 1
+let is_empty t = t = []
+let mem v t = List.exists (Vertex.equal v) t
+let find_color c t = List.find_opt (fun v -> Vertex.proc v = c) t
+let subset a b = List.for_all (fun v -> mem v b) a
+let restrict t s = List.filter (fun v -> Pset.mem (Vertex.proc v) s) t
+
+let union a b =
+  let merged = List.sort_uniq Vertex.compare (a @ b) in
+  let _ =
+    List.fold_left
+      (fun acc v ->
+        let p = Vertex.proc v in
+        if Pset.mem p acc then
+          invalid_arg "Simplex.union: color clash between distinct vertices";
+        Pset.add p acc)
+      Pset.empty merged
+  in
+  merged
+
+let diff a b = List.filter (fun v -> not (mem v b)) a
+let inter a b = List.filter (fun v -> mem v b) a
+
+let subsimplices t =
+  List.fold_left
+    (fun acc v -> acc @ List.map (fun f -> v :: f) acc)
+    [ [] ]
+    (List.rev t)
+
+let faces t = List.filter (fun f -> f <> []) (subsimplices t)
+let proper_faces t = List.filter (fun f -> f <> [] && f <> t) (subsimplices t)
+
+let carrier t =
+  List.fold_left (fun acc v -> union acc (Vertex.carrier v)) empty t
+
+let base_carrier t =
+  List.fold_left
+    (fun acc v -> Pset.union acc (Vertex.base_carrier v))
+    Pset.empty t
+
+let rec base_vertex_list v =
+  match v with
+  | Vertex.Input _ -> [ v ]
+  | Vertex.Deriv { carrier; _ } -> List.concat_map base_vertex_list carrier
+
+let base_simplex t =
+  List.concat_map base_vertex_list t |> List.sort_uniq Vertex.compare
+
+let compare = List.compare Vertex.compare
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Vertex.pp)
+    t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = Hashtbl.hash
+end)

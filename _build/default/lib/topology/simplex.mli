@@ -1,0 +1,72 @@
+(** Chromatic simplices: sorted lists of vertices with pairwise
+    distinct colors.
+
+    The empty simplex is allowed as a value (it is convenient for
+    carriers and restrictions) but complexes store only nonempty
+    simplices. *)
+
+type t = private Vertex.t list
+(** Vertices sorted by {!Vertex.compare}; colors pairwise distinct. *)
+
+val make : Vertex.t list -> t
+(** Sorts and validates. Raises [Invalid_argument] if two vertices
+    share a color or a vertex is duplicated. *)
+
+val empty : t
+val of_vertex : Vertex.t -> t
+val vertices : t -> Vertex.t list
+val colors : t -> Pset.t
+(** χ(σ): the set of process ids of the vertices. *)
+
+val dim : t -> int
+(** Dimension: |σ| − 1 (so −1 for the empty simplex). *)
+
+val card : t -> int
+val is_empty : t -> bool
+val mem : Vertex.t -> t -> bool
+val find_color : int -> t -> Vertex.t option
+(** The vertex of the given color, if any. *)
+
+val subset : t -> t -> bool
+(** Face relation: [subset a b] iff every vertex of [a] is in [b]. *)
+
+val restrict : t -> Pset.t -> t
+(** Sub-simplex of the vertices whose color lies in the given set. *)
+
+val union : t -> t -> t
+(** Union as vertex sets. Raises [Invalid_argument] if two distinct
+    vertices share a color. *)
+
+val diff : t -> t -> t
+val inter : t -> t -> t
+
+val faces : t -> t list
+(** All nonempty faces of the simplex ([2^|σ| − 1] of them). *)
+
+val proper_faces : t -> t list
+(** All nonempty faces except the simplex itself. *)
+
+val subsimplices : t -> t list
+(** All faces including the empty one. *)
+
+val carrier : t -> t
+(** For a simplex of [Chr K], its carrier in [K]: the union of the
+    carriers of its vertices (by containment, the largest one). For a
+    simplex of a base complex, the simplex itself. *)
+
+val base_carrier : t -> Pset.t
+(** [χ(carrier(σ, s))]: processes of the base complex seen by the
+    simplex through all subdivision levels. *)
+
+val base_simplex : t -> t
+(** The carrier of the simplex in the base (input) complex, as a
+    simplex of base vertices — i.e. the input assignments ultimately
+    seen through all subdivision levels. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,40 @@
+let is_sperner_labeling k labeling =
+  List.for_all
+    (fun f ->
+      List.for_all
+        (fun v -> Pset.mem (labeling v) (Vertex.base_carrier v))
+        (Simplex.vertices f))
+    (Complex.facets k)
+
+let rainbow_facets k labeling =
+  List.length
+    (List.filter
+       (fun f ->
+         let labels =
+           List.fold_left
+             (fun acc v -> Pset.add (labeling v) acc)
+             Pset.empty (Simplex.vertices f)
+         in
+         Pset.cardinal labels = Simplex.card f)
+       (Complex.facets k))
+
+let random_labeling ~seed k =
+  (* Pre-draw one label per vertex so the labeling is a function. *)
+  let st = Random.State.make [| seed; 0x5be2 |] in
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem tbl v) then begin
+            let choices = Pset.to_list (Vertex.base_carrier v) in
+            let l =
+              List.nth choices (Random.State.int st (List.length choices))
+            in
+            Hashtbl.add tbl v l
+          end)
+        (Simplex.vertices f))
+    (Complex.facets k);
+  fun v -> Hashtbl.find tbl v
+
+let lemma_holds k labeling = rainbow_facets k labeling mod 2 = 1

@@ -1,0 +1,38 @@
+(** Sperner labelings and Sperner's lemma on chromatic subdivisions.
+
+    A {e Sperner labeling} of a subdivision [K] of the standard simplex
+    [s] assigns to each vertex a color of its base carrier:
+    [λ(v) ∈ χ(carrier(v, s))]. Sperner's lemma: every Sperner labeling
+    of a subdivision of the (n−1)-simplex has an odd number of
+    {e rainbow} facets (facets carrying all [n] labels).
+
+    This is the engine behind the set-consensus impossibility half of
+    the ACT/FACT theorems: a chromatic simplicial map solving k-set
+    consensus on the fixed input vector [(0, …, n−1)] induces (by
+    reading decided values as labels) a Sperner labeling of the
+    protocol complex, so some facet decides [n] distinct values —
+    impossible for [k < n]. Unlike the CSP search of {!Solver}, the
+    argument is depth-independent: it refutes solvability from [Chr^ℓ]
+    for {e every} ℓ at once. The lemma itself is validated
+    computationally by the test suite on random Sperner labelings of
+    [Chr s] and [Chr² s]. *)
+
+
+
+val is_sperner_labeling : Complex.t -> (Vertex.t -> int) -> bool
+(** Does the labeling respect carriers on every vertex of the
+    complex? *)
+
+val rainbow_facets : Complex.t -> (Vertex.t -> int) -> int
+(** Number of facets whose vertices carry pairwise distinct labels
+    covering a full color set of the facet's dimension + 1. *)
+
+val random_labeling : seed:int -> Complex.t -> Vertex.t -> int
+(** A uniformly random Sperner labeling (each vertex label drawn from
+    its base carrier). Deterministic in [seed]. *)
+
+val lemma_holds : Complex.t -> (Vertex.t -> int) -> bool
+(** [rainbow_facets] is odd — the conclusion of Sperner's lemma. Only
+    meaningful when the complex is a subdivision of [s] (e.g.
+    [Chr^m s]); proper sub-complexes such as [R_A] do not satisfy the
+    parity in general. *)

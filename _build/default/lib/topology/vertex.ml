@@ -1,0 +1,61 @@
+type t =
+  | Input of { proc : int; value : int }
+  | Deriv of { proc : int; carrier : t list }
+
+let proc = function Input { proc; _ } | Deriv { proc; _ } -> proc
+
+let input proc value = Input { proc; value }
+let base proc = Input { proc; value = 0 }
+
+let rec compare a b =
+  match (a, b) with
+  | Input x, Input y ->
+    let c = Stdlib.compare x.proc y.proc in
+    if c <> 0 then c else Stdlib.compare x.value y.value
+  | Input _, Deriv _ -> -1
+  | Deriv _, Input _ -> 1
+  | Deriv x, Deriv y ->
+    let c = Stdlib.compare x.proc y.proc in
+    if c <> 0 then c else List.compare compare x.carrier y.carrier
+
+let equal a b = compare a b = 0
+let hash v = Hashtbl.hash v
+
+let deriv p carrier =
+  if not (List.exists (fun v -> proc v = p) carrier) then
+    invalid_arg "Vertex.deriv: carrier does not contain the vertex color";
+  Deriv { proc = p; carrier }
+
+let carrier = function
+  | Input _ as v -> [ v ]
+  | Deriv { carrier; _ } -> carrier
+
+let rec base_carrier = function
+  | Input { proc; _ } -> Pset.singleton proc
+  | Deriv { carrier; _ } ->
+    List.fold_left
+      (fun acc v -> Pset.union acc (base_carrier v))
+      Pset.empty carrier
+
+let rec level = function
+  | Input _ -> 0
+  | Deriv { carrier = v :: _; _ } -> 1 + level v
+  | Deriv { carrier = []; _ } -> 1
+
+let rec value = function
+  | Input { value; _ } -> value
+  | Deriv { proc = p; carrier } ->
+    (match List.find_opt (fun v -> proc v = p) carrier with
+    | Some v -> value v
+    | None -> invalid_arg "Vertex.value: self not in carrier")
+
+let rec pp ppf = function
+  | Input { proc; value } ->
+    if value = 0 then Format.fprintf ppf "p%d" proc
+    else Format.fprintf ppf "p%d=%d" proc value
+  | Deriv { proc; carrier } ->
+    Format.fprintf ppf "(p%d,[%a])" proc
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+         pp)
+      carrier

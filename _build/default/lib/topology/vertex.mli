@@ -1,0 +1,58 @@
+(** Vertices of (iterated) chromatic complexes.
+
+    A single recursive type represents vertices of the standard simplex
+    [s], of input complexes, and of any iterated standard chromatic
+    subdivision [Chr^m]:
+
+    - [Input {proc; value}] is a vertex of a base (input) complex:
+      process [proc] with input [value]. The standard simplex [s] is
+      the input complex where every process has value [0].
+    - [Deriv {proc; carrier}] is a vertex of [Chr K]: the pair
+      [(proc, σ)] of the paper, where [σ] (the [carrier]) is the
+      simplex of [K] "seen" by [proc] — the snapshot it obtained in the
+      corresponding immediate-snapshot run.
+
+    Simplices are sorted vertex lists (see {!Simplex}); the [carrier]
+    field stores such a sorted list. *)
+
+type t =
+  | Input of { proc : int; value : int }
+  | Deriv of { proc : int; carrier : t list }
+
+val proc : t -> int
+(** The color χ(v) of the vertex: the process id. *)
+
+val input : int -> int -> t
+(** [input p v] is the base vertex of process [p] with value [v]. *)
+
+val base : int -> t
+(** [base p] = [input p 0]: a vertex of the standard simplex [s]. *)
+
+val deriv : int -> t list -> t
+(** [deriv p carrier] builds a [Chr]-vertex. The carrier must be a
+    sorted simplex (as produced by {!Simplex.make}) containing a vertex
+    of color [p]; raises [Invalid_argument] otherwise. *)
+
+val carrier : t -> t list
+(** The carrier of a [Deriv] vertex in the complex it subdivides, i.e.
+    the simplex it has seen. For an [Input] vertex, its own singleton. *)
+
+val base_carrier : t -> Pset.t
+(** [carrier(v, s)]: the set of processes of the base complex
+    ultimately seen by this vertex, flattening all subdivision
+    levels. *)
+
+val level : t -> int
+(** Subdivision depth: 0 for [Input], 1 + level of carrier vertices for
+    [Deriv]. *)
+
+val value : t -> int
+(** The base input value of the vertex's own process: for [Input] it is
+    the stored value; for [Deriv] it is the value of the same process
+    at the base level (full-information: a process always knows its own
+    input). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

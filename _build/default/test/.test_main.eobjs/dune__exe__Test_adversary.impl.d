@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Agreement Alcotest Census Fact_adversary Fact_topology Fairness Hitting List Printf Pset QCheck QCheck_alcotest Setcon

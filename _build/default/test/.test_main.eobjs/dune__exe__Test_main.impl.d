@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adversary Test_affine Test_runtime Test_tasks Test_topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Chr Complex Fact_topology Geometry Link List Opart Option Printf Pset QCheck QCheck_alcotest Random Simplex Sperner Vertex

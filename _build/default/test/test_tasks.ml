@@ -1,0 +1,250 @@
+(* Tests for the task framework, k-set consensus, simplex agreement and
+   the FACT solvability solver (Theorems 15/16). *)
+
+open Fact_topology
+open Fact_adversary
+open Fact_affine
+open Fact_tasks
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Task construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_inputs () =
+  let i = Task.full_inputs ~n:2 ~values:[ 0; 1 ] in
+  check "facets" 4 (Complex.facet_count i);
+  check "vertices" 4 (List.length (Complex.vertices i));
+  let i3 = Task.full_inputs ~n:3 ~values:[ 0; 1; 2 ] in
+  check "facets n=3" 27 (Complex.facet_count i3)
+
+let test_fixed_inputs () =
+  let i = Task.fixed_inputs [ 5; 7; 9 ] in
+  check "one facet" 1 (Complex.facet_count i);
+  let f = List.hd (Complex.facets i) in
+  Alcotest.(check (list int)) "values" [ 5; 7; 9 ]
+    (List.map Vertex.value (Simplex.vertices f))
+
+let test_set_consensus_complexes () =
+  let t = Set_consensus.task ~n:2 ~k:1 ~values:[ 0; 1 ] in
+  (* Outputs: only the two monochromatic assignments. *)
+  check "consensus outputs" 2 (Complex.facet_count t.Task.outputs);
+  let t2 = Set_consensus.task ~n:3 ~k:2 ~values:[ 0; 1; 2 ] in
+  (* 27 assignments minus the 6 rainbow ones. *)
+  check "2-set outputs" 21 (Complex.facet_count t2.Task.outputs)
+
+let test_set_consensus_delta_carrier () =
+  let t = Set_consensus.task ~n:2 ~k:1 ~values:[ 0; 1 ] in
+  check_bool "carrier map" true (Task.is_carrier_map t);
+  let t2 = Set_consensus.task_fixed ~n:3 ~k:2 ~inputs:[ 0; 1; 2 ] in
+  check_bool "carrier map (fixed)" true (Task.is_carrier_map t2)
+
+let test_decisions_ok () =
+  check_bool "valid" true
+    (Set_consensus.decisions_ok ~k:2
+       ~proposals:[ (0, 10); (1, 11); (2, 12) ]
+       ~decisions:[ (0, 10); (1, 10); (2, 12) ]);
+  check_bool "too many values" false
+    (Set_consensus.decisions_ok ~k:1
+       ~proposals:[ (0, 10); (1, 11) ]
+       ~decisions:[ (0, 10); (1, 11) ]);
+  check_bool "invalid value" false
+    (Set_consensus.decisions_ok ~k:2
+       ~proposals:[ (0, 10); (1, 11) ]
+       ~decisions:[ (0, 99) ])
+
+let test_simplex_agreement_task () =
+  let l = Rkof.task ~n:3 ~k:1 in
+  let t = Simplex_agreement.of_affine l in
+  check "inputs = s" 1 (Complex.facet_count t.Task.inputs);
+  check "outputs = L" 73 (Complex.facet_count t.Task.outputs);
+  check_bool "member run respected" true
+    (Simplex_agreement.carrier_respected l
+       (List.hd (Complex.facets (Affine_task.complex l))))
+
+(* ------------------------------------------------------------------ *)
+(* Solver: classical ACT results on the wait-free (IIS) model         *)
+(* ------------------------------------------------------------------ *)
+
+let chr_protocol ~n ~ell inputs =
+  Affine_task.apply (Affine_task.full_chr ~n ~ell) inputs
+
+let test_consensus_unsolvable_wait_free_n2 () =
+  (* FLP/ACT: consensus is not wait-free solvable — no simplicial map
+     from Chr^ℓ(I), checked exhaustively for ℓ = 1, 2. *)
+  let t = Set_consensus.task ~n:2 ~k:1 ~values:[ 0; 1 ] in
+  List.iter
+    (fun ell ->
+      match
+        Solver.solve ~protocol:(chr_protocol ~n:2 ~ell t.Task.inputs) ~task:t
+      with
+      | Solver.Unsolvable -> ()
+      | Solver.Solvable _ ->
+        Alcotest.failf "consensus solved wait-free at ell=%d!" ell)
+    [ 1; 2 ]
+
+let test_trivial_task_solvable () =
+  (* 2-set consensus among 2 processes: decide your own value. *)
+  let t = Set_consensus.task ~n:2 ~k:2 ~values:[ 0; 1; 2 ] in
+  match
+    Solver.solve ~protocol:(chr_protocol ~n:2 ~ell:1 t.Task.inputs) ~task:t
+  with
+  | Solver.Solvable m ->
+    check_bool "certified" true
+      (Solver.check_map
+         ~protocol:(chr_protocol ~n:2 ~ell:1 t.Task.inputs)
+         ~task:t m)
+  | Solver.Unsolvable -> Alcotest.fail "trivial task unsolvable?"
+
+let test_2set_unsolvable_wait_free_n3 () =
+  (* Chaudhuri / Sperner: 2-set consensus is not wait-free solvable for
+     3 processes (checked for one iteration, on the standard
+     fixed-input restriction). *)
+  let t = Set_consensus.task_fixed ~n:3 ~k:2 ~inputs:[ 0; 1; 2 ] in
+  match
+    Solver.solve ~protocol:(chr_protocol ~n:3 ~ell:1 t.Task.inputs) ~task:t
+  with
+  | Solver.Unsolvable -> ()
+  | Solver.Solvable _ -> Alcotest.fail "2-set consensus solved wait-free!"
+
+let test_3set_solvable_wait_free_n3 () =
+  let t = Set_consensus.task_fixed ~n:3 ~k:3 ~inputs:[ 0; 1; 2 ] in
+  let protocol = chr_protocol ~n:3 ~ell:1 t.Task.inputs in
+  match Solver.solve ~protocol ~task:t with
+  | Solver.Solvable m ->
+    check_bool "certified" true (Solver.check_map ~protocol ~task:t m)
+  | Solver.Unsolvable -> Alcotest.fail "n-set consensus unsolvable?"
+
+(* ------------------------------------------------------------------ *)
+(* Solver + R_A: the FACT equation on the adversary zoo               *)
+(* ------------------------------------------------------------------ *)
+
+let zoo =
+  [
+    ("1-OF", Adversary.k_obstruction_free ~n:3 ~k:1);
+    ("2-OF", Adversary.k_obstruction_free ~n:3 ~k:2);
+    ("1-res", Adversary.t_resilient ~n:3 ~t:1);
+    ("2-res(WF)", Adversary.wait_free 3);
+    ("fig5b", Adversary.fig5b);
+  ]
+
+let ra_protocol adv inputs =
+  Affine_task.apply (Ra.of_adversary adv) inputs
+
+let test_fact_impossibility () =
+  (* k-set consensus with k < setcon(A) admits no map from one R_A
+     iteration. The wait-free entry is excluded here: its R_A is all of
+     Chr² s and the corresponding UNSAT instance is a genuine Sperner
+     configuration, infeasible for CSP search (the same claim is
+     checked at one IS round by the ACT tests above). *)
+  List.iter
+    (fun (name, adv) ->
+      let power = Setcon.setcon adv in
+      let t = Set_consensus.task_fixed ~n:3 ~k:(power - 1) ~inputs:[ 0; 1; 2 ] in
+      if power > 1 && power < 3 then
+        match Solver.solve ~protocol:(ra_protocol adv t.Task.inputs) ~task:t with
+        | Solver.Unsolvable -> ()
+        | Solver.Solvable _ ->
+          Alcotest.failf "%s: %d-set consensus solved below power!" name
+            (power - 1))
+    zoo
+
+let test_fact_possibility_via_mu () =
+  (* k-set consensus with k = setcon(A) is solved by the explicit
+     µ-map on one R_A iteration — certified by the solver's checker. *)
+  List.iter
+    (fun (name, adv) ->
+      let power = Setcon.setcon adv in
+      let alpha = Agreement.of_adversary adv in
+      let t = Set_consensus.task_fixed ~n:3 ~k:power ~inputs:[ 0; 1; 2 ] in
+      let protocol = ra_protocol adv t.Task.inputs in
+      let m = Mu_map.set_consensus_map ~alpha ~protocol in
+      check_bool (name ^ " µ-map certified") true
+        (Solver.check_map ~protocol ~task:t m))
+    zoo
+
+let test_fact_possibility_via_search () =
+  (* The solver also finds a map by itself for the 1-OF model
+     (consensus from one iteration of R_{1-OF}). *)
+  let adv = Adversary.k_obstruction_free ~n:3 ~k:1 in
+  let t = Set_consensus.task_fixed ~n:3 ~k:1 ~inputs:[ 0; 1; 2 ] in
+  let protocol = ra_protocol adv t.Task.inputs in
+  match Solver.solve ~protocol ~task:t with
+  | Solver.Solvable m ->
+    check_bool "certified" true (Solver.check_map ~protocol ~task:t m)
+  | Solver.Unsolvable -> Alcotest.fail "consensus unsolvable in R_1-OF"
+
+let test_fact_full_inputs_consensus_1of () =
+  (* Same statement on the full input complex (all 2^3 input vectors),
+     not just a fixed one: µ still certifies. *)
+  let adv = Adversary.k_obstruction_free ~n:3 ~k:1 in
+  let alpha = Agreement.of_adversary adv in
+  let t = Set_consensus.task ~n:3 ~k:1 ~values:[ 0; 1 ] in
+  let protocol = ra_protocol adv t.Task.inputs in
+  let m = Mu_map.set_consensus_map ~alpha ~protocol in
+  check_bool "µ-map certified on full inputs" true
+    (Solver.check_map ~protocol ~task:t m)
+
+let test_approximate_agreement_staircase () =
+  (* One Chr round trisects the interval (n = 2), so the minimal depth
+     for a map is ⌈log₃ range⌉. *)
+  List.iter
+    (fun (range, expected) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "range %d" range)
+        (Some expected)
+        (Approximate_agreement.minimal_rounds ~n:2 ~range ~max_rounds:3))
+    [ (1, 1); (2, 1); (3, 1); (4, 2); (9, 2); (10, 3) ]
+
+let test_approximate_agreement_task_shape () =
+  let t = Approximate_agreement.task ~n:2 ~range:3 in
+  check_bool "carrier map" true (Task.is_carrier_map t);
+  check "input facets" 4 (Complex.facet_count t.Task.inputs);
+  (* output facets: assignments within a window {m, m+1}: windows
+     {0,1},{1,2},{2,3} give 4 assignments each, minus the 2 shared
+     monochromatic ones per overlap = 3*4 − 2 = 10. *)
+  check "output facets" 10 (Complex.facet_count t.Task.outputs)
+
+let test_solvable_by_iteration () =
+  (* The iteration search finds ℓ = 1 for a solvable task and None for
+     an unsolvable one within the bound. *)
+  let t = Set_consensus.task_fixed ~n:2 ~k:2 ~inputs:[ 0; 1 ] in
+  Alcotest.(check (option int)) "trivial at 1" (Some 1)
+    (Solver.solvable_by_iteration
+       ~task_of_round:(fun r -> chr_protocol ~n:2 ~ell:r t.Task.inputs)
+       ~task:t ~max_rounds:2);
+  let c = Set_consensus.task_fixed ~n:2 ~k:1 ~inputs:[ 0; 1 ] in
+  Alcotest.(check (option int)) "consensus never" None
+    (Solver.solvable_by_iteration
+       ~task_of_round:(fun r -> chr_protocol ~n:2 ~ell:r c.Task.inputs)
+       ~task:c ~max_rounds:2)
+
+let suite =
+  [
+    ("full input complex", `Quick, test_full_inputs);
+    ("fixed input complex", `Quick, test_fixed_inputs);
+    ("set consensus complexes", `Quick, test_set_consensus_complexes);
+    ("delta is a carrier map", `Quick, test_set_consensus_delta_carrier);
+    ("operational decision check", `Quick, test_decisions_ok);
+    ("simplex agreement task", `Quick, test_simplex_agreement_task);
+    ("ACT: consensus unsolvable wait-free (n=2)", `Quick,
+     test_consensus_unsolvable_wait_free_n2);
+    ("trivial task solvable", `Quick, test_trivial_task_solvable);
+    ("ACT: 2-set consensus unsolvable wait-free (n=3)", `Quick,
+     test_2set_unsolvable_wait_free_n3);
+    ("ACT: 3-set consensus solvable (n=3)", `Quick,
+     test_3set_solvable_wait_free_n3);
+    ("FACT impossibility below setcon", `Slow, test_fact_impossibility);
+    ("FACT possibility via µ-map", `Slow, test_fact_possibility_via_mu);
+    ("FACT possibility via search (1-OF)", `Quick,
+     test_fact_possibility_via_search);
+    ("FACT µ-map on full inputs (1-OF)", `Slow,
+     test_fact_full_inputs_consensus_1of);
+    ("iteration search", `Quick, test_solvable_by_iteration);
+    ("approximate agreement: depth staircase", `Slow,
+     test_approximate_agreement_staircase);
+    ("approximate agreement: task shape", `Quick,
+     test_approximate_agreement_task_shape);
+  ]
