@@ -7,8 +7,10 @@
    micro-benchmarks.
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig4 mu # selected sections *)
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- fig4 mu     # selected sections
+     dune exec bench/main.exe -- --json      # write BENCH_topology.json
+     dune exec bench/main.exe -- --domains 4 # fan Chr/R_A out over 4 domains *)
 
 open Fact_core.Fact
 
@@ -595,6 +597,62 @@ let perf () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* JSON baseline: the wall-clock numbers tracked across PRs            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_file = "BENCH_topology.json"
+
+let bench_json () =
+  section (Printf.sprintf "JSON bench baseline -> %s" bench_json_file);
+  (* One warmup run (which also populates the memo tables — the
+     steady-state cost is what the pipeline pays in practice), then the
+     average of [reps] timed runs. *)
+  let time_ms ~reps f =
+    ignore (Sys.opaque_identity (f ()));
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+  in
+  let entry ~name ~n ~reps ~facets f =
+    let wall_ms = time_ms ~reps f in
+    pf "%-18s n=%d %10.3f ms  facets=%d@." name n wall_ms facets;
+    Printf.sprintf
+      "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d}" name
+      n wall_ms facets
+  in
+  let chr2_of nn = Chr.iterate 2 (Chr.standard nn) in
+  let alpha_1res = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
+  let closure_host nn =
+    (* a fresh complex per run, so [closure_set] cannot hit the cache *)
+    Complex.of_facets ~n:nn (Complex.facets (Chr.standard_iterated ~m:2 ~n:nn))
+  in
+  let entries =
+    [
+      entry ~name:"chr_iterate2" ~n:3 ~reps:20 ~facets:169 (fun () ->
+          chr2_of 3);
+      entry ~name:"chr_iterate2" ~n:4 ~reps:5 ~facets:5625 (fun () ->
+          chr2_of 4);
+      entry ~name:"ra_1res" ~n:3 ~reps:50
+        ~facets:(Complex.facet_count (Ra.complex alpha_1res ~n:3))
+        (fun () -> Ra.complex alpha_1res ~n:3);
+      entry ~name:"ra_fig5b" ~n:3 ~reps:50
+        ~facets:(Complex.facet_count (Ra.complex (Lazy.force alpha_5b) ~n:3))
+        (fun () -> Ra.complex (Lazy.force alpha_5b) ~n:3);
+      entry ~name:"closure_chr2" ~n:4 ~reps:5
+        ~facets:(Complex.simplex_count (closure_host 4))
+        (fun () -> Complex.simplex_count (closure_host 4));
+    ]
+  in
+  let oc = open_out bench_json_file in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n]\n";
+  close_out oc;
+  pf "wrote %s (domains=%d)@." bench_json_file (Parallel.default_domains ())
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -621,16 +679,34 @@ let sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
+  (* Flags: [--domains N] sets the Parallel fan-out (like FACT_DOMAINS),
+     [--json] writes the BENCH_topology.json baseline. The remaining
+     arguments are section names. *)
+  let rec parse args names json =
+    match args with
+    | [] -> (List.rev names, json)
+    | "--json" :: rest -> parse rest names true
+    | "--domains" :: d :: rest ->
+      (match int_of_string_opt d with
+      | Some d -> Parallel.set_default_domains d
       | None ->
-        pf "unknown section %s (available: %s)@." name
-          (String.concat " " (List.map fst sections)))
-    requested
+        pf "--domains: not an integer: %s@." d;
+        exit 2);
+      parse rest names json
+    | [ "--domains" ] ->
+      pf "--domains: missing value@.";
+      exit 2
+    | name :: rest -> parse rest (name :: names) json
+  in
+  let names, json = parse (List.tl (Array.to_list Sys.argv)) [] false in
+  if json then bench_json ()
+  else
+    let requested = if names = [] then List.map fst sections else names in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some f -> f ()
+        | None ->
+          pf "unknown section %s (available: %s)@." name
+            (String.concat " " (List.map fst sections)))
+      requested

@@ -1,16 +1,22 @@
 open Fact_topology
 
-type t = { n : int; table : int array }
+type t = { n : int; table : int array; stamp : int }
+
+(* Each constructed agreement function gets a unique stamp, so caches
+   downstream (Critical, Concurrency, Ra) can key memo tables on it
+   without hashing the whole table. *)
+let next_stamp = Atomic.make 0
 
 let of_fn ~n f =
   let table = Array.init (1 lsl n) (fun m -> f (Pset.of_mask m)) in
-  { n; table }
+  { n; table; stamp = Atomic.fetch_and_add next_stamp 1 }
 
 let of_adversary a =
   let alpha = Setcon.alpha_fn a in
   of_fn ~n:(Adversary.n a) alpha
 
 let n t = t.n
+let stamp t = t.stamp
 let eval t p = t.table.(Pset.to_mask p)
 let equal a b = a.n = b.n && a.table = b.table
 

@@ -14,6 +14,13 @@ type t
 val of_adversary : Adversary.t -> t
 val of_fn : n:int -> (Pset.t -> int) -> t
 val n : t -> int
+
+val stamp : t -> int
+(** A unique id per constructed agreement function, for use as a memo
+    key downstream (two structurally equal functions built separately
+    get distinct stamps — caches are merely less shared, never
+    wrong). *)
+
 val eval : t -> Pset.t -> int
 (** α(P). *)
 

@@ -24,7 +24,7 @@ let n t = Complex.n t.complex
 let complex t = t.complex
 let delta t sigma = Complex.restrict_colors sigma t.complex
 
-let full_chr ~n ~ell = { ell; complex = Chr.iterate ell (Chr.standard n) }
+let full_chr ~n ~ell = { ell; complex = Chr.standard_iterated ~m:ell ~n }
 
 (* Substitute the base vertices of [v] (a vertex tree over s) by the
    vertices of the host facet [sigma] with matching colors. *)

@@ -1,11 +1,11 @@
 open Fact_topology
-open Fact_adversary
 
+(* Conc_α(σ) falls out of the shared critical-simplex analysis (the
+   max of α over carriers of critical groups), so it is memoized per
+   (α stamp, σ) together with CSM/CSV. *)
 let level alpha sigma =
-  List.fold_left
-    (fun acc tau -> max acc (Agreement.eval alpha (Simplex.base_carrier tau)))
-    0
-    (Critical.critical_subsets alpha sigma)
+  let _, _, conc = Critical.analyze alpha sigma in
+  conc
 
 let classify alpha k =
   List.map (fun s -> (s, level alpha s)) (Complex.all_simplices k)

@@ -1,14 +1,17 @@
 open Fact_topology
 open Fact_adversary
 
+let check_level1 fname sigma =
+  List.iter
+    (fun v ->
+      if Vertex.level v <> 1 then
+        invalid_arg (fname ^ ": simplex not in Chr s"))
+    (Simplex.vertices sigma)
+
 let is_critical alpha sigma =
   if Simplex.is_empty sigma then false
   else begin
-    List.iter
-      (fun v ->
-        if Vertex.level v <> 1 then
-          invalid_arg "Critical.is_critical: simplex not in Chr s")
-      (Simplex.vertices sigma);
+    check_level1 "Critical.is_critical" sigma;
     let car = Simplex.base_carrier sigma in
     let shared =
       List.for_all
@@ -23,16 +26,90 @@ let is_critical alpha sigma =
 let critical_subsets alpha sigma =
   List.filter (is_critical alpha) (Simplex.faces sigma)
 
-let members alpha sigma =
-  let css = critical_subsets alpha sigma in
-  let vs =
-    List.filter
-      (fun v -> List.exists (fun cs -> Simplex.mem v cs) css)
-      (Simplex.vertices sigma)
-  in
-  Simplex.make vs
+(* CSM/CSV/Conc in one pass, without enumerating faces of σ as
+   simplices. A face is critical iff all its vertices share one base
+   carrier and dropping its colors from that carrier strictly lowers
+   α. So group the vertices of σ by base carrier; for a group with
+   carrier [car] and color set [cs], the critical faces inside it are
+   exactly the nonempty [x ⊆ cs] with [α(car \ x) < α(car)] — and
+   since base_carrier(face) = car for those faces,
 
-let view alpha sigma = Simplex.base_carrier (members alpha sigma)
+   - CSM colors = union of all such x (per group),
+   - CSV       = union of [car] over groups owning a critical face,
+   - Conc      = max of [α(car)] over those same groups.
+
+   Only Pset words and table lookups are touched, 2^|group| of them
+   per group instead of 2^|σ| simplex constructions. *)
+let analyze_uncached alpha sigma =
+  check_level1 "Critical.is_critical" sigma;
+  let groups = ref [] in
+  List.iter
+    (fun v ->
+      let car = Vertex.base_carrier v in
+      let c = Vertex.proc v in
+      match List.assoc_opt car !groups with
+      | Some cs -> groups := (car, Pset.add c cs) :: List.remove_assoc car !groups
+      | None -> groups := (car, Pset.singleton c) :: !groups)
+    (Simplex.vertices sigma);
+  let csm_colors = ref Pset.empty in
+  let csv = ref Pset.empty in
+  let conc = ref 0 in
+  List.iter
+    (fun (car, cs) ->
+      let a_car = Agreement.eval alpha car in
+      let any = ref false in
+      List.iter
+        (fun x ->
+          if Agreement.eval alpha (Pset.diff car x) < a_car then begin
+            any := true;
+            csm_colors := Pset.union !csm_colors x
+          end)
+        (Pset.nonempty_subsets cs);
+      if !any then begin
+        csv := Pset.union !csv car;
+        conc := max !conc a_car
+      end)
+    !groups;
+  (Simplex.restrict sigma !csm_colors, !csv, !conc)
+
+(* Memoized per (agreement-function stamp, simplex). One mutex guards
+   the whole two-level table, so the cache is safe to hit from worker
+   domains; computation happens outside the lock and a racing
+   duplicate insert is dropped. *)
+let lock = Mutex.create ()
+
+let tbls : (int, (Simplex.t * Pset.t * int) Simplex.Tbl.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let analyze alpha sigma =
+  let stamp = Agreement.stamp alpha in
+  Mutex.lock lock;
+  let tbl =
+    match Hashtbl.find_opt tbls stamp with
+    | Some t -> t
+    | None ->
+      let t = Simplex.Tbl.create 1024 in
+      Hashtbl.add tbls stamp t;
+      t
+  in
+  let cached = Simplex.Tbl.find_opt tbl sigma in
+  Mutex.unlock lock;
+  match cached with
+  | Some e -> e
+  | None ->
+    let e = analyze_uncached alpha sigma in
+    Mutex.lock lock;
+    if not (Simplex.Tbl.mem tbl sigma) then Simplex.Tbl.add tbl sigma e;
+    Mutex.unlock lock;
+    e
+
+let members alpha sigma =
+  let m, _, _ = analyze alpha sigma in
+  m
+
+let view alpha sigma =
+  let _, v, _ = analyze alpha sigma in
+  v
 
 let all_critical alpha k =
   List.filter (is_critical alpha) (Complex.all_simplices k)

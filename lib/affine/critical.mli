@@ -25,6 +25,12 @@ val view : Agreement.t -> Simplex.t -> Pset.t
 (** [CSV_α(σ) = χ(carrier(CSM_α(σ), s))]: the processes observed by
     critical simplices in their View1. *)
 
+val analyze : Agreement.t -> Simplex.t -> Simplex.t * Pset.t * int
+(** [(CSM_α σ, CSV_α σ, Conc_α σ)] in one pass, memoized per
+    (agreement-function {!Agreement.stamp}, simplex). {!members},
+    {!view} and {!Concurrency.level} all go through this cache, which
+    is safe to hit from multiple domains. *)
+
 val all_critical : Agreement.t -> Complex.t -> Simplex.t list
 (** All critical simplices of a sub-complex of [Chr s] (for Figure 5
     and the benches). *)

@@ -7,7 +7,7 @@ let default_variant = Lemma6_union
 
 (* The condition P(θ, σ) of Definition 9. The per-facet carrier ρ and
    per-face carrier τ both live in Chr s; CSM/CSV/Conc are computed
-   there. *)
+   there (and memoized per (α, simplex) in [Critical.analyze]). *)
 let face_ok variant alpha ~rho theta =
   if not (Contention.is_contention_simplex theta) then true
   else
@@ -30,13 +30,135 @@ let offending_faces ?(variant = default_variant) alpha sigma =
     (fun theta -> not (face_ok variant alpha ~rho theta))
     (Simplex.faces sigma)
 
-let facet_ok ?(variant = default_variant) alpha sigma =
-  let rho = Simplex.carrier sigma in
-  List.for_all (face_ok variant alpha ~rho) (Simplex.faces sigma)
+(* Checking all 2^k faces of a facet through [face_ok] would build
+   every face as a simplex and re-derive its views and carrier. The
+   facet test below enumerates faces as bitmasks over the facet's
+   vertices instead:
 
+   - views are fetched once per vertex ([Views.views], memoized);
+   - the contention predicate is pairwise, so a face is a contention
+     simplex iff its mask is a clique of the precomputed k×k
+     "contending" adjacency masks — integer tests per face;
+   - only for contention faces (the rare case) are the carrier τ and
+     its memoized CSM/CSV/Conc analysis looked up, and even then τ is
+     a union of memoized per-vertex carriers — no face simplex is ever
+     constructed. *)
+let facet_ok_uncached variant alpha sigma =
+  let vs = Array.of_list (Simplex.vertices sigma) in
+  let k = Array.length vs in
+  let rho = Simplex.carrier sigma in
+  let csm_rho = Simplex.colors (Critical.members alpha rho) in
+  let views = Array.map Views.views vs in
+  let vcar = Array.map Simplex.vertex_carrier vs in
+  let col = Array.map (fun v -> Pset.singleton (Vertex.proc v)) vs in
+  (* contend.(i): bitmask of the j whose vertex contends with vertex i *)
+  let contend = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let v1i, v2i = views.(i) in
+    for j = i + 1 to k - 1 do
+      let v1j, v2j = views.(j) in
+      let c =
+        (Pset.proper_subset v1i v1j && Pset.proper_subset v2j v2i)
+        || (Pset.proper_subset v1j v1i && Pset.proper_subset v2i v2j)
+      in
+      if c then begin
+        contend.(i) <- contend.(i) lor (1 lsl j);
+        contend.(j) <- contend.(j) lor (1 lsl i)
+      end
+    done
+  done;
+  let bit_index i =
+    (* [i] has a single bit set *)
+    let rec f i acc = if i <= 1 then acc else f (i lsr 1) (acc + 1) in
+    f i 0
+  in
+  let is_clique m =
+    let rec go rest =
+      rest = 0
+      ||
+      let i = rest land -rest in
+      m land lnot i land lnot contend.(bit_index i) = 0
+      && go (rest land lnot i)
+    in
+    go m
+  in
+  let rec fold_bits m f acc =
+    if m = 0 then acc
+    else
+      let i = m land -m in
+      fold_bits (m land lnot i) f (f (bit_index i) acc)
+  in
+  let ok = ref true in
+  let m = ref 1 in
+  let full = (1 lsl k) - 1 in
+  while !ok && !m <= full do
+    let mask = !m in
+    if is_clique mask then begin
+      (* θ is a contention simplex: apply P(θ, σ) *)
+      let chi_theta =
+        fold_bits mask (fun i acc -> Pset.union acc col.(i)) Pset.empty
+      in
+      let tau =
+        fold_bits mask (fun i acc -> Simplex.union acc vcar.(i)) Simplex.empty
+      in
+      let _, csv_tau, conc_tau = Critical.analyze alpha tau in
+      let exempt =
+        match variant with
+        | Def9_intersection ->
+          not
+            (Pset.is_empty (Pset.inter chi_theta (Pset.inter csm_rho csv_tau)))
+        | Lemma6_union ->
+          not
+            (Pset.is_empty (Pset.inter chi_theta (Pset.union csm_rho csv_tau)))
+      in
+      let dim_theta = Pset.cardinal chi_theta - 1 in
+      if not (exempt || dim_theta < conc_tau) then ok := false
+    end;
+    incr m
+  done;
+  !ok
+
+(* The verdict itself is memoized per (agreement stamp, variant,
+   facet): repeated [complex] calls for the same α reduce to a table
+   scan over the facets of [Chr² s]. *)
+let ok_lock = Mutex.create ()
+let ok_tbls : (int * variant, bool Simplex.Tbl.t) Hashtbl.t = Hashtbl.create 8
+
+let facet_ok ?(variant = default_variant) alpha sigma =
+  let key = (Agreement.stamp alpha, variant) in
+  Mutex.lock ok_lock;
+  let tbl =
+    match Hashtbl.find_opt ok_tbls key with
+    | Some t -> t
+    | None ->
+      let t = Simplex.Tbl.create 256 in
+      Hashtbl.add ok_tbls key t;
+      t
+  in
+  let cached = Simplex.Tbl.find_opt tbl sigma in
+  Mutex.unlock ok_lock;
+  match cached with
+  | Some ok -> ok
+  | None ->
+    let ok = facet_ok_uncached variant alpha sigma in
+    Mutex.lock ok_lock;
+    if not (Simplex.Tbl.mem tbl sigma) then Simplex.Tbl.add tbl sigma ok;
+    Mutex.unlock ok_lock;
+    ok
+
+(* Facets are filtered independently, so the scan fans out over
+   domains; workers only hit mutex-protected memo tables and build
+   immutable values, and kept facets are re-assembled into a complex
+   on the calling domain. *)
 let complex ?(variant = default_variant) alpha ~n =
-  let chr2 = Chr.iterate 2 (Chr.standard n) in
-  Complex.filter_facets (facet_ok ~variant alpha) chr2
+  let chr2 = Chr.standard_iterated ~m:2 ~n in
+  let kept =
+    Parallel.map
+      (fun f -> if facet_ok ~variant alpha f then Some f else None)
+      (Complex.facets chr2)
+    |> List.filter_map Fun.id
+  in
+  Complex.of_facets ~n kept
 
 let task ?(variant = default_variant) alpha ~n =
   Affine_task.make ~ell:2 (complex ~variant alpha ~n)

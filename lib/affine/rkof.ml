@@ -2,7 +2,7 @@ open Fact_topology
 
 let complex ~n ~k =
   if k < 1 || k > n then invalid_arg "Rkof: need 1 <= k <= n";
-  let chr2 = Chr.iterate 2 (Chr.standard n) in
+  let chr2 = Chr.standard_iterated ~m:2 ~n in
   (* Keep the facets having no contention face of dimension >= k; the
      closure of those facets is the pure complement of Definition 6. *)
   Complex.filter_facets

@@ -2,7 +2,7 @@ open Fact_topology
 
 let complex ~n ~t =
   if t < 0 || t >= n then invalid_arg "Rtres: need 0 <= t < n";
-  let chr2 = Chr.iterate 2 (Chr.standard n) in
+  let chr2 = Chr.standard_iterated ~m:2 ~n in
   Complex.filter_facets
     (fun f ->
       List.for_all

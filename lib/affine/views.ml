@@ -6,20 +6,47 @@ let level2 fname v =
 
 let chr1_carrier v =
   level2 "chr1_carrier" v;
-  Simplex.make (Vertex.carrier v)
+  Simplex.vertex_carrier v
 
-let view2 v =
-  level2 "view2" v;
-  Simplex.colors (chr1_carrier v)
+(* View1/View2 are asked for every vertex of every face of every facet
+   (the contention predicate is pairwise); memoize them per vertex
+   intern id. The carrier simplex itself is already shared through
+   [Simplex.vertex_carrier]. *)
+let lock = Mutex.create ()
+let tbl : (int, Pset.t * Pset.t) Hashtbl.t = Hashtbl.create 1024
+
+let compute v =
+  let car = Simplex.vertex_carrier v in
+  let view2 = Simplex.colors car in
+  let view1 =
+    match Simplex.find_color (Vertex.proc v) car with
+    | Some v' -> Vertex.base_carrier v'
+    | None -> invalid_arg "Views.view1: carrier misses own color"
+  in
+  (view1, view2)
+
+let views v =
+  level2 "views" v;
+  let i = Vertex.id v in
+  Mutex.lock lock;
+  let cached = Hashtbl.find_opt tbl i in
+  Mutex.unlock lock;
+  match cached with
+  | Some vw -> vw
+  | None ->
+    let vw = compute v in
+    Mutex.lock lock;
+    if not (Hashtbl.mem tbl i) then Hashtbl.add tbl i vw;
+    Mutex.unlock lock;
+    vw
 
 let view1 v =
   level2 "view1" v;
-  let self =
-    match Simplex.find_color (Vertex.proc v) (chr1_carrier v) with
-    | Some v' -> v'
-    | None -> invalid_arg "Views.view1: carrier misses own color"
-  in
-  Vertex.base_carrier self
+  fst (views v)
+
+let view2 v =
+  level2 "view2" v;
+  snd (views v)
 
 let pp_views ppf v =
   Format.fprintf ppf "p%d: View1=%a View2=%a" (Vertex.proc v) Pset.pp

@@ -17,6 +17,10 @@ val view2 : Vertex.t -> Pset.t
 (** Raises [Invalid_argument] if the vertex is not at subdivision
     level 2. *)
 
+val views : Vertex.t -> Pset.t * Pset.t
+(** [(view1 v, view2 v)] in one memoized lookup (cached per vertex
+    intern id). *)
+
 val chr1_carrier : Vertex.t -> Simplex.t
 (** [carrier(v, Chr s)] as a simplex of [Chr s]. *)
 

@@ -7,6 +7,7 @@ module Chr = Fact_topology.Chr
 module Sperner = Fact_topology.Sperner
 module Link = Fact_topology.Link
 module Geometry = Fact_topology.Geometry
+module Parallel = Fact_topology.Parallel
 module Adversary = Fact_adversary.Adversary
 module Hitting = Fact_adversary.Hitting
 module Setcon = Fact_adversary.Setcon

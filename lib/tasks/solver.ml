@@ -11,6 +11,17 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Vertex.hash
 end)
 
+(* The search is ordering-sensitive: facets must arrive in structural
+   (lexicographic vertex) order so that consecutive facets share
+   vertices. [Complex.facets] iterates in hash order, so re-sort
+   structurally here — this also keeps the search deterministic and
+   independent of interning or domain-count effects on set order. *)
+let structural_vertex_compare = Vertex.compare
+
+let structural_simplex_compare a b =
+  List.compare structural_vertex_compare (Simplex.vertices a)
+    (Simplex.vertices b)
+
 (* Facet-major vertex order: keeps consecutive decision variables in
    shared facets, which makes the per-facet pruning bite early. *)
 let vertex_order facets =
@@ -35,7 +46,9 @@ let vertex_order facets =
    the thrashing a chronological search suffers on equality-like
    constraints such as consensus. *)
 let solve ~protocol ~task =
-  let facets = Complex.facets protocol in
+  let facets =
+    List.sort structural_simplex_compare (Complex.facets protocol)
+  in
   if facets = [] then invalid_arg "Solver.solve: empty protocol complex";
   let Task.{ delta; _ } = task in
   (* ∆ of a simplex depends only on its input carrier; cache it. *)
@@ -74,7 +87,8 @@ let solve ~protocol ~task =
         let allowed = delta_of (Simplex.of_vertex v) in
         ref
           (Complex.vertices allowed
-          |> List.filter (fun o -> Vertex.proc o = Vertex.proc v)))
+          |> List.filter (fun o -> Vertex.proc o = Vertex.proc v)
+          |> List.sort structural_vertex_compare))
       order
   in
   let image = Array.make nv None in

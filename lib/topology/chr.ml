@@ -3,26 +3,81 @@ let standard n =
   Complex.of_facets ~n [ Simplex.make vs ]
 
 let facet_of_run tau run =
-  let vs =
-    List.map
-      (fun (p, view) -> Vertex.deriv p (Simplex.restrict tau view :> Vertex.t list))
-      (Opart.views run)
-  in
-  Simplex.make vs
+  Simplex.of_chr_pairs
+    (List.map
+       (fun (p, view) -> (p, Simplex.restrict tau view))
+       (Opart.views run))
 
-let subdivide_simplex tau =
+let subdivide_simplex_raw tau =
   let runs = Opart.enumerate (Simplex.colors tau) in
   List.map (facet_of_run tau) runs
 
+(* The facets of [Chr τ] are asked for again on every [iterate] over a
+   complex containing τ (and the same τ values recur across reps of the
+   whole pipeline); memoize them per simplex. *)
+let sub_lock = Mutex.create ()
+let sub_tbl : Simplex.t list Simplex.Tbl.t = Simplex.Tbl.create 4096
+
+let subdivide_simplex tau =
+  Mutex.lock sub_lock;
+  let cached = Simplex.Tbl.find_opt sub_tbl tau in
+  Mutex.unlock sub_lock;
+  match cached with
+  | Some fs -> fs
+  | None ->
+    let fs = subdivide_simplex_raw tau in
+    Mutex.lock sub_lock;
+    if not (Simplex.Tbl.mem sub_tbl tau) then Simplex.Tbl.add sub_tbl tau fs;
+    Mutex.unlock sub_lock;
+    fs
+
+(* Per-facet ordered-partition enumeration is independent across
+   facets, so it fans out over domains (Parallel is a no-op for the
+   default domain count of 1). Workers only construct immutable
+   simplices; the facet list order — and hence the resulting complex —
+   does not depend on the domain count. *)
 let subdivide k =
-  let gens = List.concat_map subdivide_simplex (Complex.facets k) in
+  let gens = Parallel.concat_map subdivide_simplex (Complex.facets k) in
   Complex.of_facets ~n:(Complex.n k) gens
 
 let rec iterate m k = if m <= 0 then k else iterate (m - 1) (subdivide k)
 
+(* Iterated subdivisions of the standard simplex are requested all
+   over the affine pipeline (R_A, R_kOF, R_t-res, full_chr); memoize
+   them per (m, n). The cached complexes are shared: treat them as
+   immutable. *)
+let std_lock = Mutex.create ()
+let std_tbl : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 16
+
+let standard_iterated ~m ~n =
+  Mutex.lock std_lock;
+  let cached = Hashtbl.find_opt std_tbl (m, n) in
+  Mutex.unlock std_lock;
+  match cached with
+  | Some c -> c
+  | None ->
+    (* Build outside the lock (it can be expensive and may recurse
+       through subdivide); a racing duplicate build is harmless and
+       both results are equal. *)
+    let c = iterate m (standard n) in
+    (* Pre-force the closure cache so sharing the complex with worker
+       domains later never races on it. *)
+    ignore (Complex.simplex_count c);
+    ignore (Complex.euler_characteristic c);
+    Mutex.lock std_lock;
+    let c =
+      match Hashtbl.find_opt std_tbl (m, n) with
+      | Some c' -> c'
+      | None ->
+        Hashtbl.add std_tbl (m, n) c;
+        c
+    in
+    Mutex.unlock std_lock;
+    c
+
 let facet_of_runs tau runs = List.fold_left facet_of_run tau runs
 
-let run_of_facet sigma =
+let run_of_facet_uncached sigma =
   let pairs =
     List.map
       (fun v ->
@@ -37,6 +92,23 @@ let run_of_facet sigma =
   | Some run -> run
   | None -> invalid_arg "Chr.run_of_facet: not a full facet of Chr"
 
+let run_lock = Mutex.create ()
+let run_tbl : Opart.t Simplex.Tbl.t = Simplex.Tbl.create 1024
+
+let run_of_facet sigma =
+  Mutex.lock run_lock;
+  let cached = Simplex.Tbl.find_opt run_tbl sigma in
+  Mutex.unlock run_lock;
+  match cached with
+  | Some run -> run
+  | None ->
+    let run = run_of_facet_uncached sigma in
+    Mutex.lock run_lock;
+    if not (Simplex.Tbl.mem run_tbl sigma) then
+      Simplex.Tbl.add run_tbl sigma run;
+    Mutex.unlock run_lock;
+    run
+
 let carrier = Simplex.carrier
 
 let is_simplex_of_chr sigma =
@@ -44,7 +116,7 @@ let is_simplex_of_chr sigma =
     List.map
       (fun v ->
         match v with
-        | Vertex.Deriv { proc; carrier } -> (proc, Simplex.make carrier)
+        | Vertex.Deriv _ -> (Vertex.proc v, Simplex.vertex_carrier v)
         | Vertex.Input _ ->
           invalid_arg "Chr.is_simplex_of_chr: base-level vertex")
       (Simplex.vertices sigma)

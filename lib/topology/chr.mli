@@ -20,6 +20,12 @@ val subdivide : Complex.t -> Complex.t
 val iterate : int -> Complex.t -> Complex.t
 (** [iterate m K] = [Chr^m K]. [iterate 0] is the identity. *)
 
+val standard_iterated : m:int -> n:int -> Complex.t
+(** [iterate m (standard n)], memoized per [(m, n)]. The affine-task
+    pipeline asks for these complexes repeatedly; the returned value is
+    shared, so treat it as immutable. Its closure/euler caches are
+    pre-forced, making it safe to share with worker domains. *)
+
 val facet_of_run : Simplex.t -> Opart.t -> Simplex.t
 (** [facet_of_run τ run]: the facet of [Chr τ] corresponding to the
     IS run [run], which must be an ordered partition of χ(τ). *)

@@ -2,12 +2,15 @@ type t = {
   n : int;
   facets : Simplex.Set.t;
   mutable closure_cache : Simplex.Set.t option;
+  mutable euler_cache : int option;
 }
 
 (* Keep only maximal simplices among the generators. A simplex can
    only be subsumed by one of strictly larger dimension, so when all
    generators share a dimension (the common case: facets of a pure
-   complex) this is free; otherwise only larger buckets are probed. *)
+   complex) this is free; otherwise only larger buckets are probed,
+   and within a bucket candidates whose color bitmask is not a
+   superset are skipped before the id-array walk. *)
 let maximalize gens =
   let by_dim = Hashtbl.create 8 in
   Simplex.Set.iter
@@ -22,11 +25,14 @@ let maximalize gens =
     Simplex.Set.filter
       (fun s ->
         let d = Simplex.dim s in
+        let cs = Simplex.colors s in
         not
           (List.exists
              (fun d' ->
                d' > d
-               && List.exists (Simplex.subset s)
+               && List.exists
+                    (fun f ->
+                      Pset.subset cs (Simplex.colors f) && Simplex.subset s f)
                     (Hashtbl.find by_dim d'))
              dims))
       gens
@@ -36,7 +42,7 @@ let of_facets ~n gens =
     List.filter (fun s -> not (Simplex.is_empty s)) gens
     |> Simplex.Set.of_list
   in
-  { n; facets = maximalize gens; closure_cache = None }
+  { n; facets = maximalize gens; closure_cache = None; euler_cache = None }
 
 let n t = t.n
 let facets t = Simplex.Set.elements t.facets
@@ -105,6 +111,7 @@ let pure_complement gens t =
   { n = t.n;
     facets = Simplex.Set.filter keep t.facets;
     closure_cache = None;
+    euler_cache = None;
   }
 
 (* The maximal face of [f] all of whose vertices have base carrier
@@ -126,18 +133,30 @@ let restrict_colors colors t =
   of_facets ~n:t.n gens
 
 let euler_characteristic t =
-  Simplex.Set.fold
-    (fun s acc -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
-    (closure_set t) 0
+  match t.euler_cache with
+  | Some e -> e
+  | None ->
+    let e =
+      Simplex.Set.fold
+        (fun s acc -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
+        (closure_set t) 0
+    in
+    t.euler_cache <- Some e;
+    e
 
 let filter_facets p t =
-  { n = t.n; facets = Simplex.Set.filter p t.facets; closure_cache = None }
+  { n = t.n;
+    facets = Simplex.Set.filter p t.facets;
+    closure_cache = None;
+    euler_cache = None;
+  }
 
 let union a b =
   if a.n <> b.n then invalid_arg "Complex.union: different universes";
   { n = a.n;
     facets = maximalize (Simplex.Set.union a.facets b.facets);
     closure_cache = None;
+    euler_cache = None;
   }
 
 let subcomplex a b = Simplex.Set.for_all (fun f -> mem f b) a.facets

@@ -1,0 +1,86 @@
+(* A minimal fan-out shim over OCaml 5 domains (stdlib only, no
+   domainslib). Work lists are split into [domains] contiguous chunks;
+   each chunk is mapped in a fresh domain and the per-chunk results are
+   concatenated in order, so the output is a plain [List.map f] —
+   independent of the domain count. With [domains <= 1] the sequential
+   path is taken and no domain is spawned at all.
+
+   Workers may construct simplices (and hence intern vertices): the
+   intern table is mutex-protected, and everything a constructor
+   returns is immutable, so results are safely published by
+   [Domain.join]. Workers must not touch mutable complex caches
+   (e.g. [Complex.all_simplices]) on shared complexes. *)
+
+let env_domains =
+  match Sys.getenv_opt "FACT_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let default = Atomic.make env_domains
+let set_default_domains d = Atomic.set default (max 1 d)
+let default_domains () = Atomic.get default
+
+(* Split [xs] into [k] contiguous chunks of near-equal length. *)
+let chunks k xs =
+  let len = List.length xs in
+  let k = max 1 (min k len) in
+  let base = len / k and extra = len mod k in
+  let rec take n xs acc =
+    if n = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) rest (x :: acc)
+  in
+  let rec loop i xs acc =
+    if i >= k then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs [] in
+      loop (i + 1) rest (chunk :: acc)
+  in
+  loop 0 xs []
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if domains <= 1 then List.map f xs
+  else
+    match chunks domains xs with
+    | [] | [ _ ] -> List.map f xs
+    | first :: rest ->
+      let workers =
+        List.map (fun chunk -> Domain.spawn (fun () -> List.map f chunk)) rest
+      in
+      let head = List.map f first in
+      head :: List.map Domain.join workers |> List.concat
+
+let concat_map ?domains f xs = List.concat (map ?domains f xs)
+
+let map_init ?domains init f xs =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if domains <= 1 then
+    let ctx = init () in
+    List.map (f ctx) xs
+  else
+    match chunks domains xs with
+    | [] | [ _ ] ->
+      let ctx = init () in
+      List.map (f ctx) xs
+    | first :: rest ->
+      let workers =
+        List.map
+          (fun chunk ->
+            Domain.spawn (fun () ->
+                let ctx = init () in
+                List.map (f ctx) chunk))
+          rest
+      in
+      let head =
+        let ctx = init () in
+        List.map (f ctx) first
+      in
+      head :: List.map Domain.join workers |> List.concat

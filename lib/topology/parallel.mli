@@ -1,0 +1,32 @@
+(** Multicore fan-out over OCaml 5 domains (stdlib only).
+
+    Lists are split into contiguous chunks, one spawned domain per
+    chunk, and results are concatenated in order — so for a pure [f]
+    the output equals [List.map f xs] whatever the domain count. With
+    [domains <= 1] no domain is spawned and the call {e is}
+    [List.map f xs] (bit-identical sequential fallback).
+
+    The default domain count is 1, overridable with the
+    [FACT_DOMAINS] environment variable (read once at startup) or
+    {!set_default_domains} (e.g. the bench [--domains] flag).
+
+    Worker discipline: workers may build vertices and simplices (the
+    intern tables are mutex-protected and the values immutable), but
+    must not force mutable caches — e.g. [Complex.all_simplices] — on
+    complexes shared between domains. *)
+
+val default_domains : unit -> int
+val set_default_domains : int -> unit
+(** Clamped below at 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs = List.map f xs], fanned out over [domains]
+    domains. [?domains] defaults to {!default_domains}. *)
+
+val concat_map : ?domains:int -> ('a -> 'b list) -> 'a list -> 'b list
+
+val map_init : ?domains:int -> (unit -> 'ctx) -> ('ctx -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map} but each worker first builds a private context (e.g. a
+    local memo table), threaded through its whole chunk. For the
+    output to be independent of the domain count, [f ctx] must be pure
+    modulo the context. *)

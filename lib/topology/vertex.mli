@@ -56,3 +56,37 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
+
+(** {2 Interning}
+
+    Vertices are interned into a global table that assigns dense
+    integer ids: structurally equal vertices always receive the same
+    id, so equality of interned vertices is integer equality. The
+    table also memoizes, per id, a full-depth structural hash and the
+    base carrier. Interning is guarded by a mutex and is safe to call
+    from multiple domains; ids are process-local (their numbering
+    depends on intern order), so they must only be used for equality,
+    hashing and memo keys — ordering of observable results must use
+    {!strong_hash} or structural {!compare}, which are deterministic. *)
+
+val id : t -> int
+(** The dense intern id of the vertex (interning it if needed). *)
+
+val strong_hash : t -> int
+(** A full-depth structural hash, memoized per id. Deterministic: it
+    depends only on the structure of the vertex, never on intern
+    order. *)
+
+val intern_list : t list -> (int * int * Pset.t) list
+(** [(id, strong_hash, base_carrier)] for each vertex, taking the
+    intern lock once for the whole batch. Used by {!Simplex.make}. *)
+
+val intern_deriv_list : (int * int list) list -> (int * int * Pset.t) list
+(** Shallow batch interning of derived vertices: each entry is
+    [(proc, carrier_ids)] where the carrier vertices are already
+    interned (in carrier order). Agrees with {!intern_list} on ids,
+    hashes and base carriers, but costs O(carrier) per vertex instead
+    of a full tree walk. Used by {!Simplex.of_chr_pairs}. *)
+
+val interned_count : unit -> int
+(** Number of distinct vertices interned so far (for diagnostics). *)

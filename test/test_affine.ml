@@ -307,6 +307,47 @@ let test_affine_compose () =
     (List.filteri (fun i _ -> i mod 500 = 0) (Complex.facets (Affine_task.complex r2)))
 
 (* ------------------------------------------------------------------ *)
+(* R_A regression against the pre-memoization implementation          *)
+(* ------------------------------------------------------------------ *)
+
+(* Facet/simplex/Euler fingerprints of [Ra.complex] recorded from the
+   seed (structural, cache-free) implementation. The memoized
+   mask-based pipeline must reproduce them exactly, for both Def 9
+   variants. *)
+let test_ra_seed_fingerprints () =
+  let alpha_1res = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
+  let cases =
+    [
+      ("1-res union", alpha_1res, Ra.Lemma6_union, 142, 475);
+      ("1-res inter", alpha_1res, Ra.Def9_intersection, 142, 475);
+      ("fig5b union", alpha_5b, Ra.Lemma6_union, 145, 483);
+      ("fig5b inter", alpha_5b, Ra.Def9_intersection, 139, 467);
+    ]
+  in
+  List.iter
+    (fun (name, alpha, variant, facets, simplices) ->
+      let r = Ra.complex ~variant alpha ~n:3 in
+      check (name ^ " facets") facets (Complex.facet_count r);
+      check (name ^ " simplices") simplices (Complex.simplex_count r);
+      check (name ^ " euler") 1 (Complex.euler_characteristic r))
+    cases
+
+let test_ra_memo_stability () =
+  (* A second call for the same α must hit the per-(stamp, variant)
+     verdict cache and return an equal complex; the mask path must also
+     agree facet-by-facet with the face-list path [offending_faces]. *)
+  let r1 = Ra.complex alpha_5b ~n:3 in
+  let r2 = Ra.complex alpha_5b ~n:3 in
+  check_bool "repeat equal" true (Complex.equal r1 r2);
+  check "repeat facet count" (Complex.facet_count r1) (Complex.facet_count r2);
+  List.iter
+    (fun f ->
+      let fast = Complex.mem f r1 in
+      let slow = Ra.offending_faces alpha_5b f = [] in
+      check_bool "mask path = face-list path" true (fast = slow))
+    (Complex.facets (Chr.standard_iterated ~m:2 ~n:3))
+
+(* ------------------------------------------------------------------ *)
 (* µ_Q (Section 6.2)                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -471,6 +512,8 @@ let suite =
       ("R_A(1-res) = R_tres", `Quick, test_ra_1res_equals_rtres);
       ("R_A facet counts (Fig 7)", `Quick, test_ra_fig7);
       ("R_A of wait-free is Chr^2 s", `Quick, test_ra_wait_free_full);
+      ("R_A seed fingerprints (both variants)", `Quick, test_ra_seed_fingerprints);
+      ("R_A memo stability", `Quick, test_ra_memo_stability);
       ("affine task API", `Quick, test_affine_task_api);
       ("affine task validation", `Quick, test_affine_task_validation);
       ("affine task composition", `Quick, test_affine_compose);

@@ -300,6 +300,152 @@ let prop_carrier_monotonic =
       Pset.subset (Simplex.base_carrier sub) (Simplex.base_carrier f))
 
 (* ------------------------------------------------------------------ *)
+(* Interned representation vs structural reference                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference implementations over the plain vertex lists, ignoring all
+   cached metadata (intern ids, color masks, hashes). The interned
+   fast paths must agree with these. *)
+let ref_mem v s = List.exists (Vertex.equal v) (Simplex.vertices s)
+let ref_subset a b = List.for_all (fun v -> ref_mem v b) (Simplex.vertices a)
+
+let ref_colors s =
+  List.fold_left
+    (fun acc v -> Pset.add (Vertex.proc v) acc)
+    Pset.empty (Simplex.vertices s)
+
+let ref_equal a b =
+  List.length (Simplex.vertices a) = List.length (Simplex.vertices b)
+  && ref_subset a b
+
+let face_gen complex =
+  (* A random face of a random facet, paired with a second one. *)
+  QCheck.map
+    (fun (i, m1, j, m2) ->
+      let fs = Complex.facets complex in
+      let pick i m =
+        Simplex.restrict
+          (List.nth fs (abs i mod List.length fs))
+          (Pset.of_mask (abs m land 7))
+      in
+      (pick i m1, pick j m2))
+    QCheck.(quad int int int int)
+
+let interned_props name complex =
+  [
+    QCheck.Test.make ~name:(name ^ ": subset agrees with structural") ~count:300
+      (face_gen complex)
+      (fun (a, b) ->
+        Simplex.subset a b = ref_subset a b
+        && Simplex.subset b a = ref_subset b a);
+    QCheck.Test.make ~name:(name ^ ": colors agree with structural") ~count:300
+      (face_gen complex)
+      (fun (a, b) ->
+        Pset.equal (Simplex.colors a) (ref_colors a)
+        && Pset.equal (Simplex.colors b) (ref_colors b));
+    QCheck.Test.make ~name:(name ^ ": mem agrees with structural") ~count:300
+      (face_gen complex)
+      (fun (a, b) ->
+        List.for_all (fun v -> Simplex.mem v b = ref_mem v b)
+          (Simplex.vertices a));
+    QCheck.Test.make
+      ~name:(name ^ ": compare = 0 iff structurally equal") ~count:300
+      (face_gen complex)
+      (fun (a, b) ->
+        (Simplex.compare a b = 0) = ref_equal a b
+        && Simplex.compare a a = 0
+        (* antisymmetry of the hash-primary order *)
+        && compare (Simplex.compare a b) 0 = compare 0 (Simplex.compare b a));
+  ]
+
+let test_simplex_duplicate_vertex () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Simplex.make: duplicate vertex") (fun () ->
+      ignore (Simplex.make [ Vertex.base 0; Vertex.base 0 ]))
+
+let test_of_chr_pairs_equals_make () =
+  (* The fast constructor used by Chr agrees with the generic one on
+     every run of the standard 3-simplex. *)
+  let tau = List.hd (Complex.facets s3) in
+  List.iter
+    (fun run ->
+      let pairs =
+        List.map
+          (fun (p, view) -> (p, Simplex.restrict tau view))
+          (Opart.views run)
+      in
+      let fast = Simplex.of_chr_pairs pairs in
+      let slow =
+        Simplex.make
+          (List.map
+             (fun (p, car) -> Vertex.deriv p (Simplex.vertices car))
+             pairs)
+      in
+      check_bool "of_chr_pairs = make" true (Simplex.equal fast slow);
+      check "compare 0" 0 (Simplex.compare fast slow))
+    (Opart.enumerate (Pset.full 3))
+
+let test_chr2_facets_n4 () =
+  (* 75 facets of Chr s (n=4), each subdividing into 75: 5625. *)
+  let c = Chr.standard_iterated ~m:2 ~n:4 in
+  check "Chr^2 s (n=4) facets" 5625 (Complex.facet_count c);
+  check_bool "pure dim 3" true (Complex.is_pure_of_dim 3 c)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_sequential_identity () =
+  (* domains <= 1 must be literally List.map. *)
+  let xs = List.init 100 Fun.id in
+  let f x = (x * 7919) mod 101 in
+  check_bool "map" true (Parallel.map ~domains:1 f xs = List.map f xs);
+  check_bool "map domains=0" true (Parallel.map ~domains:0 f xs = List.map f xs);
+  check_bool "concat_map" true
+    (Parallel.concat_map ~domains:1 (fun x -> [ x; -x ]) xs
+    = List.concat_map (fun x -> [ x; -x ]) xs);
+  check_bool "empty" true (Parallel.map ~domains:4 f [] = [])
+
+let test_parallel_domain_independence () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * 7919) mod 101 in
+  List.iter
+    (fun d ->
+      check_bool
+        (Printf.sprintf "map %d domains" d)
+        true
+        (Parallel.map ~domains:d f xs = List.map f xs);
+      check_bool
+        (Printf.sprintf "concat_map %d domains" d)
+        true
+        (Parallel.concat_map ~domains:d (fun x -> [ x; x + 1 ]) xs
+        = List.concat_map (fun x -> [ x; x + 1 ]) xs))
+    [ 2; 3; 4; 8; 64 ];
+  (* map_init: the per-worker context is scratch space; for an [f]
+     pure modulo the context the output matches List.map. *)
+  check_bool "map_init" true
+    (Parallel.map_init ~domains:3
+       (fun () -> Buffer.create 16)
+       (fun buf x ->
+         Buffer.clear buf;
+         Buffer.add_string buf (string_of_int (f x));
+         int_of_string (Buffer.contents buf))
+       xs
+    = List.map f xs)
+
+let test_parallel_subdivision_independent_of_domains () =
+  (* The topological pipeline must produce identical complexes — and
+     identical facet orders — whatever the domain count. *)
+  let seq = Chr.iterate 2 (Chr.standard 3) in
+  let saved = Parallel.default_domains () in
+  Parallel.set_default_domains 4;
+  let par = Chr.iterate 2 (Chr.standard 3) in
+  Parallel.set_default_domains saved;
+  check_bool "complex equal" true (Complex.equal seq par);
+  check_bool "facet order equal" true
+    (List.equal Simplex.equal (Complex.facets seq) (Complex.facets par))
+
+(* ------------------------------------------------------------------ *)
 (* Sperner labelings                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -433,6 +579,13 @@ let suite =
     ("restrict to face colors", `Quick, test_restrict_colors);
     ("skeleton, star, pure complement", `Quick, test_skeleton_star_pc);
     ("complex mem/union/subcomplex", `Quick, test_complex_mem_union);
+    ("simplex duplicate vertex rejected", `Quick, test_simplex_duplicate_vertex);
+    ("of_chr_pairs = make on all runs", `Quick, test_of_chr_pairs_equals_make);
+    ("Chr^2 s n=4 counts", `Quick, test_chr2_facets_n4);
+    ("parallel: sequential identity", `Quick, test_parallel_sequential_identity);
+    ("parallel: domain independence", `Quick, test_parallel_domain_independence);
+    ("parallel: subdivision independent of domains", `Quick,
+     test_parallel_subdivision_independent_of_domains);
     qt prop_pset_fold_cardinal;
     qt prop_pset_subsets_count;
     qt prop_opart_views_valid;
@@ -448,6 +601,10 @@ let suite =
     ("geometry: degenerate cases", `Quick, test_geometry_degenerate);
     qt prop_chr2_simplices_valid;
     qt prop_carrier_monotonic;
+  ]
+  @ List.map qt (interned_props "Chr s" chr1)
+  @ List.map qt (interned_props "Chr^2 s" chr2)
+  @ [
     qt prop_sperner_lemma;
     qt prop_sperner_lemma_n4;
   ]
