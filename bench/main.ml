@@ -519,6 +519,46 @@ let geom () =
   pf "[volume weights runs by geometric measure; prohibited contention@.";
   pf " regions concentrate near the barycenter, so volume < facet share]@."
 
+let explore_bench () =
+  section "Model checking: systematic exploration throughput (lib/check)";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let show name (stats : _ Explore.stats) dt =
+    let total = stats.Explore.runs + stats.Explore.truncated + stats.Explore.pruned in
+    pf "%-28s %a@." name Explore.pp_stats stats;
+    pf "%-28s %.2fs, %.0f executions/s@." "" dt (float_of_int total /. dt)
+  in
+  let (st, parts), dt = time (fun () -> Harness.explore_immediate_snapshot ~n:2 ()) in
+  show "IS n=2 (exhaustive)" st dt;
+  pf "%-28s ordered partitions: %d/%d@." "" (List.length parts) (Opart.fubini 2);
+  let (st, parts), dt = time (fun () -> Harness.explore_immediate_snapshot ~n:3 ()) in
+  show "IS n=3 (exhaustive)" st dt;
+  pf "%-28s ordered partitions: %d/%d@." "" (List.length parts) (Opart.fubini 3);
+  let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
+  let st, dt =
+    time (fun () ->
+        Harness.explore_algorithm1 ~alpha:wf2 ~participants:(Pset.full 2) ())
+  in
+  show "Alg1 n=2 wait-free" st dt;
+  let oof2 = Agreement.k_obstruction_free ~n:2 ~k:1 in
+  let st, dt =
+    time (fun () ->
+        Harness.explore_algorithm1 ~alpha:oof2 ~participants:(Pset.full 2)
+          ~max_depth:48 ())
+  in
+  show "Alg1 n=2 1-OF (depth 48)" st dt;
+  let wf3 = Agreement.of_adversary (Adversary.wait_free 3) in
+  let st, dt =
+    time (fun () ->
+        Harness.explore_algorithm1 ~alpha:wf3 ~participants:(Pset.full 3)
+          ~max_runs:30_000 ())
+  in
+  show "Alg1 n=3 wait-free (30k)" st dt;
+  pf "[sleep sets prune commuting interleavings; truncation bounds wait loops]@."
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel performance micro-benchmarks                               *)
 (* ------------------------------------------------------------------ *)
@@ -643,6 +683,20 @@ let bench_json () =
       entry ~name:"closure_chr2" ~n:4 ~reps:5
         ~facets:(Complex.simplex_count (closure_host 4))
         (fun () -> Complex.simplex_count (closure_host 4));
+      (let explore_is () =
+         let stats, _ = Harness.explore_immediate_snapshot ~n:3 () in
+         stats.Explore.runs
+       in
+       entry ~name:"explore_is" ~n:3 ~reps:3 ~facets:(explore_is ())
+         explore_is);
+      (let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
+       let explore_alg1 () =
+         (Harness.explore_algorithm1 ~alpha:wf2 ~participants:(Pset.full 2)
+            ())
+           .Explore.runs
+       in
+       entry ~name:"explore_alg1" ~n:2 ~reps:3 ~facets:(explore_alg1 ())
+         explore_alg1);
     ]
   in
   let oc = open_out bench_json_file in
@@ -673,6 +727,7 @@ let sections =
     ("fig7n4", fig7n4);
     ("scale", scale);
     ("approx", approx);
+    ("explore", explore_bench);
     ("link", link);
     ("geom", geom);
     ("perf", perf);

@@ -6,6 +6,7 @@
      run       execute Algorithm 1 under a random alpha-model schedule
      solve     decide k-set-consensus solvability from R_A iterations
      chr       print statistics of Chr^m s
+     explore   model-check a protocol over all interleavings (lib/check)
 
    Adversaries are given either by a preset name
    (wait-free | t-res:T | k-of:K | fig5b) or as explicit live sets,
@@ -203,6 +204,101 @@ let chr_cmd =
     (Cmd.info "chr" ~doc:"Statistics of the iterated chromatic subdivision.")
     Term.(const chr $ n_arg $ m_arg)
 
+(* ----------------------------- explore ---------------------------- *)
+
+let explore protocol max_depth max_runs max_crashes skip_wait n preset
+    live_sets =
+  let participants = Pset.full n in
+  match protocol with
+  | "is" ->
+    let stats, parts =
+      Harness.explore_immediate_snapshot ~max_depth ~max_runs ~n ()
+    in
+    pf "one-shot IS, n=%d: %a@." n Explore.pp_stats stats;
+    pf "distinct ordered partitions: %d (fubini %d = %d)@."
+      (List.length parts) n (Opart.fubini n);
+    if stats.Explore.violations <> [] then exit 1
+  | "alg1" ->
+    let adv =
+      match (preset, live_sets) with
+      | None, [] -> Adversary.wait_free n
+      | _ -> (
+        match adversary_of ~n ~preset ~live_sets with
+        | adv -> adv
+        | exception Failure msg ->
+          prerr_endline ("fact: " ^ msg);
+          exit 2)
+    in
+    let alpha = Agreement.of_adversary adv in
+    pf "adversary: %a@." Adversary.pp adv;
+    if skip_wait then pf "ablation: wait phase disabled@.";
+    let stats =
+      Harness.explore_algorithm1 ~skip_wait ?max_crashes ~max_depth
+        ~max_runs ~alpha ~participants ()
+    in
+    pf "Algorithm 1, n=%d: %a@." n Explore.pp_stats stats;
+    (match stats.Explore.violations with
+    | [] -> pf "no violation: all explored runs land in R_A@."
+    | v :: _ ->
+      let ra = Ra.complex alpha ~n in
+      let procs () =
+        let inst = Algorithm1.create_instance ~n in
+        Array.init n (fun _ pid ->
+            Algorithm1.process ~skip_wait inst alpha ~pid)
+      in
+      let fails r = not (Harness.alg1_prop ~ra r) in
+      let shrunk = Minimize.shrink ~procs ~fails v.Explore.trace in
+      pf "violation! counterexample (%d decisions, shrunk to %d):@."
+        (Trace.length v.Explore.trace)
+        (Trace.length shrunk);
+      pf "%a@." Trace.pp shrunk;
+      exit 1)
+  | p ->
+    prerr_endline ("fact: unknown protocol " ^ p ^ " (alg1 | is)");
+    exit 2
+
+let explore_cmd =
+  let protocol_arg =
+    Arg.(
+      value & opt string "alg1"
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:"Protocol to model-check: alg1 (Algorithm 1) | is (one-shot \
+                immediate snapshot).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-depth" ] ~doc:"Decisions per run before truncation.")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "max-runs" ] ~doc:"Total execution budget.")
+  in
+  let max_crashes_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-crashes" ]
+          ~doc:"Crash budget per run. Default: the alpha-model bound \
+                alpha(P) - 1.")
+  in
+  let skip_wait_arg =
+    Arg.(
+      value & flag
+      & info [ "skip-wait" ]
+          ~doc:"Ablation: drop Algorithm 1's wait phase (lines 6-9); the \
+                explorer then finds runs escaping R_A.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore protocol interleavings (DFS with sleep-set \
+          pruning and crash injection) and check outputs against R_A. The \
+          adversary defaults to wait-free.")
+    Term.(
+      const explore $ protocol_arg $ max_depth_arg $ max_runs_arg
+      $ max_crashes_arg $ skip_wait_arg $ n_arg $ preset_arg $ live_arg)
+
 (* ----------------------------- census ----------------------------- *)
 
 let census_run n =
@@ -232,4 +328,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd; census_cmd ]))
+       (Cmd.group info
+          [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
+            explore_cmd; census_cmd ]))

@@ -1,0 +1,227 @@
+open Fact_topology
+open Fact_runtime
+
+type config = {
+  max_crashes : int;
+  crashable : Pset.t;
+  max_depth : int;
+  max_runs : int;
+}
+
+let config ?(max_crashes = 0) ?(crashable = Pset.empty) ?(max_depth = 256)
+    ?(max_runs = 100_000) () =
+  if max_depth < 1 then invalid_arg "Explore.config: max_depth < 1";
+  if max_runs < 1 then invalid_arg "Explore.config: max_runs < 1";
+  { max_crashes; crashable; max_depth; max_runs }
+
+type 'r outcome = {
+  report : 'r Exec.report;
+  trace : Trace.t;
+  truncated : bool;
+}
+
+type 'r stats = {
+  runs : int;
+  truncated : int;
+  pruned : int;
+  crash_patterns : int;
+  violations : 'r outcome list;
+  exhausted : bool;
+}
+
+(* A node of the decision tree, one per depth of the current DFS path.
+   [enabled] is fixed at node creation; [chosen] is the decision of the
+   current run; [done_] accumulates fully-explored siblings; [sleep0]
+   is the node's inherited sleep set; [ops] snapshots every process's
+   pending operation for the independence checks. *)
+type node = {
+  mutable chosen : Trace.decision;
+  mutable done_ : Trace.decision list;
+  sleep0 : Trace.decision list;
+  enabled : Trace.decision list;
+  ops : Op.pending array;
+  crashes_before : int;
+}
+
+(* Independence of two decisions available at the same node: used both
+   to filter sleep sets through a fired transition and to justify not
+   exploring both orders. Crash(p) commutes with any decision of
+   another process except another crash (two crashes compete for the
+   same budget, so firing one can disable the other). *)
+let independent node d1 d2 =
+  match (d1, d2) with
+  | Trace.Step p, Trace.Step q ->
+    p <> q && Op.commute node.ops.(p) node.ops.(q)
+  | Trace.Crash p, Trace.Step q | Trace.Step q, Trace.Crash p -> p <> q
+  | Trace.Crash _, Trace.Crash _ -> false
+
+let explore ?(config = config ()) ?(stop_on_violation = false)
+    ?(on_run = fun _ -> ()) ~n ~participants ~procs ~prop () =
+  let cfg = config in
+  let path : node option array = Array.make cfg.max_depth None in
+  let plen = ref 0 in
+  let runs = ref 0 in
+  let truncated_runs = ref 0 in
+  let pruned = ref 0 in
+  let violations = ref [] in
+  let patterns = Hashtbl.create 16 in
+  let node_at i = match path.(i) with Some nd -> nd | None -> assert false in
+
+  (* One execution following the current path as prefix, extending it
+     with fresh nodes past the end. Returns the report plus whether the
+     run was truncated (depth budget) or sleep-blocked (pruned). *)
+  let run_once () =
+    let depth = ref 0 in
+    let truncated = ref false in
+    let blocked = ref false in
+    let crash_flag = ref (-1) in
+    let next ~alive ~pending =
+      if !depth >= cfg.max_depth then begin
+        truncated := true;
+        None
+      end
+      else begin
+        let decision =
+          if !depth < !plen then Some (node_at !depth).chosen
+          else begin
+            let parent = if !depth = 0 then None else path.(!depth - 1) in
+            let crashes_before =
+              match parent with
+              | None -> 0
+              | Some par ->
+                par.crashes_before
+                + (match par.chosen with Trace.Crash _ -> 1 | _ -> 0)
+            in
+            let steps =
+              List.map (fun p -> Trace.Step p) (Pset.to_list alive)
+            in
+            let crashes =
+              if crashes_before < cfg.max_crashes then
+                List.map
+                  (fun p -> Trace.Crash p)
+                  (Pset.to_list (Pset.inter alive cfg.crashable))
+              else []
+            in
+            let enabled = steps @ crashes in
+            let sleep0 =
+              match parent with
+              | None -> []
+              | Some par ->
+                List.filter
+                  (fun z -> independent par z par.chosen)
+                  (par.sleep0 @ par.done_)
+            in
+            match
+              List.find_opt (fun d -> not (List.mem d sleep0)) enabled
+            with
+            | None ->
+              (* Every enabled decision is asleep: all continuations are
+                 commutation-equivalent to already-explored runs. *)
+              blocked := true;
+              None
+            | Some d ->
+              let ops = Array.init n (fun i -> pending i) in
+              path.(!depth) <-
+                Some
+                  { chosen = d; done_ = []; sleep0; enabled; ops;
+                    crashes_before };
+              plen := !depth + 1;
+              Some d
+          end
+        in
+        match decision with
+        | None -> None
+        | Some d ->
+          incr depth;
+          (match d with
+          | Trace.Step p -> Some p
+          | Trace.Crash p ->
+            crash_flag := p;
+            Some p)
+      end
+    in
+    let crash_now ~pid ~steps_taken:_ =
+      if !crash_flag = pid then begin
+        crash_flag := -1;
+        true
+      end
+      else false
+    in
+    let schedule = Schedule.controlled ~n ~participants ~next ~crash_now in
+    let report =
+      Exec.run ~max_steps:(cfg.max_depth + 1) ~schedule (procs ())
+    in
+    (report, !truncated, !blocked)
+  in
+
+  (* Move to the next unexplored branch: mark the deepest node's chosen
+     decision as done, pick a fresh sibling if any, else pop. Returns
+     false when the tree is exhausted. *)
+  let rec backtrack () =
+    if !plen = 0 then false
+    else begin
+      let nd = node_at (!plen - 1) in
+      nd.done_ <- nd.chosen :: nd.done_;
+      let available =
+        List.filter
+          (fun d -> not (List.mem d nd.done_ || List.mem d nd.sleep0))
+          nd.enabled
+      in
+      match available with
+      | d :: _ ->
+        nd.chosen <- d;
+        true
+      | [] ->
+        decr plen;
+        path.(!plen) <- None;
+        backtrack ()
+    end
+  in
+
+  let current_trace () =
+    Trace.make ~n ~participants
+      (List.init !plen (fun i -> (node_at i).chosen))
+  in
+
+  let executions = ref 0 in
+  let exhausted = ref false in
+  let stop = ref false in
+  while (not !stop) && !executions < cfg.max_runs do
+    let report, truncated, blocked = run_once () in
+    incr executions;
+    if blocked then incr pruned
+    else begin
+      if truncated then incr truncated_runs else incr runs;
+      let outcome = { report; trace = current_trace (); truncated } in
+      if not truncated then begin
+        let faulty = Trace.crashes outcome.trace in
+        if not (Hashtbl.mem patterns (Pset.to_mask faulty)) then
+          Hashtbl.add patterns (Pset.to_mask faulty) ()
+      end;
+      on_run outcome;
+      if not (prop report) then begin
+        violations := outcome :: !violations;
+        if stop_on_violation then stop := true
+      end
+    end;
+    if not !stop then
+      if not (backtrack ()) then begin
+        exhausted := true;
+        stop := true
+      end
+  done;
+  {
+    runs = !runs;
+    truncated = !truncated_runs;
+    pruned = !pruned;
+    crash_patterns = Hashtbl.length patterns;
+    violations = List.rev !violations;
+    exhausted = !exhausted;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "runs %d (truncated %d, pruned %d) crash patterns %d violations %d%s"
+    s.runs s.truncated s.pruned s.crash_patterns
+    (List.length s.violations)
+    (if s.exhausted then " [exhaustive]" else " [budget hit]")

@@ -1,0 +1,83 @@
+(** Systematic exploration of executor interleavings (bounded model
+    checking).
+
+    The explorer enumerates schedules of {!Fact_runtime.Exec} by
+    depth-first search over scheduling decisions: at every interleaving
+    point it can step any alive process or (within a crash budget)
+    crash one. Each branch is executed by restarting the protocol from
+    scratch under a {!Fact_runtime.Schedule.controlled} schedule that
+    replays the decision prefix — the standard stateless-search
+    architecture of systematic concurrency testers.
+
+    Two reduction/bounding mechanisms keep the search tractable:
+
+    - {b sleep sets} (Godefroid): after exploring decision [d] at a
+      node, [d] is put to sleep for the node's remaining branches and
+      stays asleep in descendants until a {e dependent} step fires.
+      Independence comes from the pending-operation descriptors
+      ({!Fact_runtime.Op}): steps whose next operations commute (e.g.
+      writes to different cells, or two snapshots) never both get
+      explored in the two orders. Prefixes whose every enabled decision
+      is asleep are abandoned — their interleavings are Mazurkiewicz
+      -equivalent to already-explored ones — and counted as [pruned].
+      Crash decisions commute with steps of other processes, which
+      collapses the many equivalent placements of a crash point.
+    - {b budgets}: [max_depth] bounds the length of a single run
+      (protocols with wait-loops have unboundedly long fair runs;
+      deeper runs are cut and counted as [truncated], with the
+      property still checked on the partial outcome — a safety check),
+      and [max_runs] bounds the total number of executions.
+
+    When the search finishes within its budgets ([exhausted = true]),
+    every interleaving of length ≤ [max_depth] (with ≤ [max_crashes]
+    crashes among [crashable]) has been covered up to commutation of
+    independent steps. *)
+
+open Fact_topology
+open Fact_runtime
+
+type config = {
+  max_crashes : int;  (** crash budget per run (0 = failure-free) *)
+  crashable : Pset.t; (** processes the explorer may crash *)
+  max_depth : int;    (** decisions per run before truncation *)
+  max_runs : int;     (** total executions (incl. pruned/truncated) *)
+}
+
+val config :
+  ?max_crashes:int -> ?crashable:Pset.t -> ?max_depth:int ->
+  ?max_runs:int -> unit -> config
+(** Defaults: no crashes, [crashable = ∅], depth 256, 100_000 runs. *)
+
+type 'r outcome = {
+  report : 'r Exec.report;
+  trace : Trace.t;     (** the decisions of this run, replayable *)
+  truncated : bool;    (** hit [max_depth] *)
+}
+
+type 'r stats = {
+  runs : int;            (** completed runs (every fiber terminated) *)
+  truncated : int;       (** runs cut by [max_depth] *)
+  pruned : int;          (** prefixes abandoned by sleep-set pruning *)
+  crash_patterns : int;  (** distinct faulty sets over completed runs *)
+  violations : 'r outcome list;  (** property failures, oldest first *)
+  exhausted : bool;      (** the whole bounded space was covered *)
+}
+
+val explore :
+  ?config:config ->
+  ?stop_on_violation:bool ->
+  ?on_run:('r outcome -> unit) ->
+  n:int ->
+  participants:Pset.t ->
+  procs:(unit -> (int -> 'r) array) ->
+  prop:('r Exec.report -> bool) ->
+  unit ->
+  'r stats
+(** [explore ~n ~participants ~procs ~prop ()] runs the DFS. [procs]
+    is called once per execution and must return fresh process
+    closures over fresh shared state. [prop] is the safety property
+    checked on every (completed or truncated) run's report. [on_run]
+    observes every such run. [stop_on_violation] (default [false])
+    stops at the first failure — useful as a counterexample finder. *)
+
+val pp_stats : Format.formatter -> 'r stats -> unit

@@ -1,0 +1,36 @@
+open Fact_topology
+
+type 'a t = Random.State.t -> 'a
+
+let return x _ = x
+let map f g st = f (g st)
+let bind g f st = f (g st) st
+let pair a b st =
+  let x = a st in
+  let y = b st in
+  (x, y)
+
+let int bound st = Random.State.int st bound
+let int_range lo hi st = lo + Random.State.int st (hi - lo + 1)
+let bool st = Random.State.bool st
+
+let oneof xs st =
+  match xs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ -> List.nth xs (Random.State.int st (List.length xs))
+
+let list ~len elt st =
+  let k = len st in
+  List.init k (fun _ -> elt st)
+
+let subset s st =
+  Pset.filter (fun _ -> Random.State.bool st) s
+
+let rec nonempty_subset s st =
+  if Pset.is_empty s then invalid_arg "Gen.nonempty_subset: empty set";
+  let sub = subset s st in
+  if Pset.is_empty sub then nonempty_subset s st else sub
+
+let pset ~n st = nonempty_subset (Pset.full n) st
+
+let run ~seed g = g (Random.State.make [| seed |])

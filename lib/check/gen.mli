@@ -1,0 +1,37 @@
+(** Random generators with explicit state.
+
+    A generator is a function of a {!Random.State.t}; there is no
+    hidden global state, so every value is reproducible from the seed
+    that built the state. {!Prop.check} derives one independent state
+    per iteration from [(seed, iteration)], so any single failing
+    iteration replays standalone. *)
+
+open Fact_topology
+
+type 'a t = Random.State.t -> 'a
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val int : int -> int t
+(** [int bound] draws uniformly from [0, bound). *)
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val bool : bool t
+val oneof : 'a list -> 'a t
+val list : len:int t -> 'a t -> 'a list t
+
+val subset : Pset.t -> Pset.t t
+(** Uniform subset (possibly empty) of the given set. *)
+
+val nonempty_subset : Pset.t -> Pset.t t
+
+val pset : n:int -> Pset.t t
+(** Nonempty subset of [Pset.full n]: a random participant set. *)
+
+val run : seed:int -> 'a t -> 'a
+(** Run a generator on a fresh state from [seed] alone. *)

@@ -1,0 +1,60 @@
+open Fact_topology
+open Fact_adversary
+open Fact_affine
+open Fact_runtime
+
+let is_procs ~n () =
+  let is = Immediate_snapshot.create n in
+  Array.init n (fun _ pid -> Immediate_snapshot.write_snapshot is ~pid pid)
+
+let views_of_report report =
+  List.map
+    (fun (i, view) -> (i, Immediate_snapshot.view_set view))
+    (Exec.decided report)
+
+let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000) ~n ()
+    =
+  let parts = ref [] in
+  let record (outcome : _ Explore.outcome) =
+    if not outcome.truncated then
+      match Opart.of_views (views_of_report outcome.report) with
+      | Some part when not (List.exists (Opart.equal part) !parts) ->
+        parts := part :: !parts
+      | Some _ | None -> ()
+  in
+  let stats =
+    Explore.explore
+      ~config:(Explore.config ~max_depth ~max_runs ())
+      ~on_run:record ~n ~participants:(Pset.full n) ~procs:(is_procs ~n)
+      ~prop:(fun report -> Opart.is_valid_views (views_of_report report))
+      ()
+  in
+  (stats, List.sort Opart.compare !parts)
+
+let alg1_prop ~ra report =
+  match List.map snd (Exec.decided report) with
+  | [] -> true
+  | outputs -> Complex.mem (Algorithm1.simplex_of_outputs outputs) ra
+
+let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
+    ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation ~alpha
+    ~participants () =
+  let n = Agreement.n alpha in
+  let max_crashes =
+    match max_crashes with
+    | Some c -> c
+    | None -> (
+      match Agreement.max_faulty alpha participants with
+      | Some t -> t
+      | None -> 0)
+  in
+  let ra = Ra.complex ?variant alpha ~n in
+  let procs () =
+    let inst = Algorithm1.create_instance ~n in
+    Array.init n (fun _ pid -> Algorithm1.process ~skip_wait inst alpha ~pid)
+  in
+  Explore.explore
+    ~config:
+      (Explore.config ~max_crashes ~crashable:participants ~max_depth
+         ~max_runs ())
+    ?stop_on_violation ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()

@@ -1,0 +1,58 @@
+(** Ready-made explorations of the paper's protocols.
+
+    These glue {!Explore} to the runtime protocols and to the
+    topological oracles of the paper:
+
+    - {!explore_immediate_snapshot} enumerates the interleavings of a
+      single one-shot immediate snapshot and reconstructs the ordered
+      set partition ({!Fact_topology.Opart}) of every completed run —
+      the combinatorial side of the [Chr s] ↔ IS-runs correspondence,
+      so exhaustive exploration of [n] processes must produce exactly
+      the [fubini n] partitions.
+    - {!explore_algorithm1} model-checks Theorem 7: under every
+      explored interleaving (with crash injection up to the α-model
+      bound [α(P) − 1]), the decided outputs of Algorithm 1 form a
+      simplex of [R_A]. The [skip_wait] ablation hands the explorer a
+      genuinely broken protocol to find counterexamples in. *)
+
+open Fact_topology
+open Fact_adversary
+open Fact_runtime
+
+val is_procs : n:int -> unit -> (int -> (int * int) list) array
+(** Fresh process closures over a fresh one-shot IS for [n] processes:
+    process [i] write-snapshots its own id and returns its view.
+    Matches the [procs] argument of {!Explore.explore}. *)
+
+val explore_immediate_snapshot :
+  ?max_depth:int ->
+  ?max_runs:int ->
+  n:int ->
+  unit ->
+  (int * int) list Explore.stats * Opart.t list
+(** Explore all interleavings (failure-free, full participation) of a
+    one-shot IS. The property checked on every run is
+    {!Opart.is_valid_views} of the decided views. Also returns the
+    distinct ordered partitions of the completed runs, sorted. *)
+
+val alg1_prop :
+  ra:Complex.t -> Algorithm1.output Exec.report -> bool
+(** Theorem 7 safety: the decided outputs form a simplex of [R_A]
+    (vacuously true when nothing decided). *)
+
+val explore_algorithm1 :
+  ?skip_wait:bool ->
+  ?variant:Fact_affine.Ra.variant ->
+  ?max_crashes:int ->
+  ?max_depth:int ->
+  ?max_runs:int ->
+  ?stop_on_violation:bool ->
+  alpha:Agreement.t ->
+  participants:Pset.t ->
+  unit ->
+  Algorithm1.output Explore.stats
+(** Model-check Algorithm 1 for [alpha] with the given participation.
+    Defaults: [max_crashes] is the α-model bound
+    [α(participants) − 1] (0 if [α = 0]), all participants crashable,
+    [max_depth = 64], [max_runs = 100_000]. The checked property is
+    {!alg1_prop} for [Ra.complex ?variant alpha]. *)

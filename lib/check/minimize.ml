@@ -1,0 +1,110 @@
+let context_switches tr =
+  let pid = function Trace.Step p | Trace.Crash p -> p in
+  let rec go = function
+    | a :: (b :: _ as rest) -> (if pid a <> pid b then 1 else 0) + go rest
+    | [ _ ] | [] -> 0
+  in
+  go (Trace.decisions tr)
+
+(* Rebuild a trace from an edited decision list, dropping decisions
+   made invalid by the edit (steps/crashes after a crash of the same
+   process). Replay skips non-applicable decisions anyway; normalizing
+   here keeps [Trace.make]'s invariant and the printed form honest. *)
+let rebuild tr decisions =
+  let crashed = ref Fact_topology.Pset.empty in
+  let decisions =
+    List.filter
+      (fun d ->
+        let p = match d with Trace.Step p | Trace.Crash p -> p in
+        if Fact_topology.Pset.mem p !crashed then false
+        else begin
+          (match d with
+          | Trace.Crash _ -> crashed := Fact_topology.Pset.add p !crashed
+          | Trace.Step _ -> ());
+          true
+        end)
+      decisions
+  in
+  Trace.make ~n:(Trace.n tr) ~participants:(Trace.participants tr) decisions
+
+let rec drop_nth i = function
+  | [] -> []
+  | _ :: rest when i = 0 -> rest
+  | x :: rest -> x :: drop_nth (i - 1) rest
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let shrink ~procs ~fails tr =
+  let still_fails cand = fails (Replay.run ~procs:(procs ()) cand) in
+  let try_candidates current cands =
+    List.find_opt (fun c -> not (Trace.equal c current) && still_fails c) cands
+  in
+  (* Phase 1: cut suffixes, halving from the full length. *)
+  let rec cut_suffix tr =
+    let ds = Trace.decisions tr in
+    let len = List.length ds in
+    let rec try_len keep =
+      if keep >= len then tr
+      else
+        let cand = rebuild tr (take keep ds) in
+        if still_fails cand then cand else try_len (keep + (max 1 ((len - keep) / 2)))
+    in
+    let tr' = try_len (len / 2) in
+    if Trace.length tr' < len then cut_suffix tr' else tr
+  in
+  (* Phase 2: drop crash decisions one at a time. *)
+  let drop_crashes tr =
+    let rec go tr =
+      let ds = Trace.decisions tr in
+      let cands =
+        List.filteri (fun _ d -> match d with Trace.Crash _ -> true | _ -> false)
+          ds
+        |> List.map (fun c ->
+               rebuild tr (List.filter (fun d -> d <> c) ds))
+      in
+      match try_candidates tr cands with Some c -> go c | None -> tr
+    in
+    go tr
+  in
+  (* Phase 3: drop any single decision, restarting after each success. *)
+  let drop_singles tr =
+    let rec go tr i =
+      let ds = Trace.decisions tr in
+      if i >= List.length ds then tr
+      else
+        let cand = rebuild tr (drop_nth i ds) in
+        if still_fails cand then go cand i else go tr (i + 1)
+    in
+    go tr 0
+  in
+  (* Phase 4: adjacent swaps that reduce context switches. *)
+  let reduce_switches tr =
+    let rec swap_at i = function
+      | a :: b :: rest when i = 0 -> b :: a :: rest
+      | x :: rest -> x :: swap_at (i - 1) rest
+      | [] -> []
+    in
+    let rec go tr i =
+      let ds = Trace.decisions tr in
+      if i + 1 >= List.length ds then tr
+      else
+        let cand = rebuild tr (swap_at i ds) in
+        if
+          Trace.length cand = Trace.length tr
+          && context_switches cand < context_switches tr
+          && still_fails cand
+        then go cand 0
+        else go tr (i + 1)
+    in
+    go tr 0
+  in
+  (* Run phases to a fixpoint: a later phase can enable an earlier one. *)
+  let pass tr = reduce_switches (drop_singles (drop_crashes (cut_suffix tr))) in
+  let rec fix tr =
+    let tr' = pass tr in
+    if Trace.equal tr' tr then tr else fix tr'
+  in
+  fix tr

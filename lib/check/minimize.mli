@@ -1,0 +1,33 @@
+(** Greedy minimization of counterexample traces.
+
+    Given a failing trace (one whose replay violates a property), the
+    shrinker searches for a smaller trace that still fails, by
+    repeatedly applying reductions and keeping any that preserve the
+    failure:
+
+    - cut a suffix of the decisions (binary-search style, halving);
+    - drop a crash decision (fewer failures is a simpler run);
+    - drop any single decision;
+    - swap adjacent decisions of different processes to reduce the
+      number of context switches (longer runs of the same process are
+      easier to read).
+
+    Every candidate is evaluated by deterministic replay against fresh
+    protocol state ({!Replay.run}), so the result is a real failing
+    execution, not an approximation. Shrinking terminates at a local
+    minimum: no single reduction keeps the trace failing. *)
+
+open Fact_runtime
+
+val context_switches : Trace.t -> int
+(** Number of adjacent decision pairs on different processes. *)
+
+val shrink :
+  procs:(unit -> (int -> 'r) array) ->
+  fails:('r Exec.report -> bool) ->
+  Trace.t ->
+  Trace.t
+(** [shrink ~procs ~fails tr] assumes [fails (Replay.run ~procs:(procs ()) tr)]
+    and returns a locally-minimal trace with the same guarantee.
+    [procs] must build fresh process closures over fresh shared state
+    on every call. *)

@@ -1,0 +1,63 @@
+type 'a result =
+  | Ok of { count : int }
+  | Fail of {
+      seed : int;
+      iteration : int;
+      original : 'a;
+      shrunk : 'a;
+      shrink_steps : int;
+      error : string option;
+    }
+
+let eval prop x =
+  match prop x with
+  | true -> None
+  | false -> Some None
+  | exception e -> Some (Some (Printexc.to_string e))
+
+let check ?(count = 100) ?(shrink = Shrink.nothing) ~seed ~name gen prop =
+  if count < 1 then invalid_arg "Prop.check: count < 1";
+  ignore name;
+  let rec iterate i =
+    if i >= count then Ok { count }
+    else
+      let st = Random.State.make [| seed; i |] in
+      let x = gen st in
+      match eval prop x with
+      | None -> iterate (i + 1)
+      | Some error ->
+        (* Greedy shrinking: first still-failing candidate, repeat. *)
+        let rec minimize x error steps =
+          let candidates = shrink x in
+          let rec first = function
+            | [] -> (x, error, steps)
+            | c :: rest -> (
+              match eval prop c with
+              | None -> first rest
+              | Some e -> minimize c e (steps + 1))
+          in
+          first candidates
+        in
+        let shrunk, error, shrink_steps = minimize x error 0 in
+        Fail { seed; iteration = i; original = x; shrunk; shrink_steps; error }
+  in
+  iterate 0
+
+let run ?count ?shrink ?pp ~seed ~name gen prop =
+  match check ?count ?shrink ~seed ~name gen prop with
+  | Ok _ -> ()
+  | Fail f ->
+    let pp_val ppf x =
+      match pp with
+      | Some pp -> pp ppf x
+      | None -> Format.pp_print_string ppf "<no printer>"
+    in
+    failwith
+      (Format.asprintf
+         "property %s failed (seed %d, iteration %d, %d shrink steps)%a@ \
+          counterexample: %a"
+         name f.seed f.iteration f.shrink_steps
+         (fun ppf -> function
+           | Some e -> Format.fprintf ppf "@ raised: %s" e
+           | None -> ())
+         f.error pp_val f.shrunk)

@@ -1,0 +1,45 @@
+(** A property-based test runner with explicit seeds and shrinking.
+
+    Each of the [count] iterations draws its value from an independent
+    random state [Random.State.make [|seed; i|]], so a failure report
+    names the exact [(seed, i)] pair and the iteration reproduces in
+    isolation — no need to rerun the whole sequence, no global
+    {!Random} state involved.
+
+    On failure the counterexample is shrunk greedily with the
+    property's {!Shrink.t} before reporting. *)
+
+type 'a result =
+  | Ok of { count : int }
+      (** all iterations passed *)
+  | Fail of {
+      seed : int;
+      iteration : int;
+      original : 'a;
+      shrunk : 'a;
+      shrink_steps : int;
+      error : string option;  (** exception text, if the property raised *)
+    }
+
+val check :
+  ?count:int ->
+  ?shrink:'a Shrink.t ->
+  seed:int ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  'a result
+(** [check ~seed ~name gen prop] runs [prop] on [count] (default 100)
+    generated values. A property that raises counts as failing. *)
+
+val run :
+  ?count:int ->
+  ?shrink:'a Shrink.t ->
+  ?pp:(Format.formatter -> 'a -> unit) ->
+  seed:int ->
+  name:string ->
+  'a Gen.t ->
+  ('a -> bool) ->
+  unit
+(** Like {!check} but raises [Failure] with a readable report on
+    failure — the Alcotest-friendly entry point. *)

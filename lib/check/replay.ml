@@ -1,0 +1,36 @@
+open Fact_topology
+open Fact_runtime
+
+let schedule tr =
+  let remaining = ref (Trace.decisions tr) in
+  let crash_flag = ref (-1) in
+  let rec next ~alive ~pending:_ =
+    match !remaining with
+    | [] -> None
+    | d :: rest ->
+      remaining := rest;
+      let p = match d with Trace.Step p | Trace.Crash p -> p in
+      if not (Pset.mem p alive) then next ~alive ~pending:(fun _ -> Op.Unlabeled)
+      else begin
+        (match d with
+        | Trace.Crash _ -> crash_flag := p
+        | Trace.Step _ -> ());
+        Some p
+      end
+  in
+  let crash_now ~pid ~steps_taken:_ =
+    if !crash_flag = pid then begin
+      crash_flag := -1;
+      true
+    end
+    else false
+  in
+  Schedule.controlled ~n:(Trace.n tr)
+    ~participants:(Trace.participants tr)
+    ~next ~crash_now
+
+let run ?max_steps ~procs tr =
+  let max_steps =
+    match max_steps with Some m -> m | None -> Trace.length tr + 1
+  in
+  Exec.run ~max_steps ~schedule:(schedule tr) procs

@@ -1,0 +1,44 @@
+type 'a t = 'a -> 'a list
+
+let nothing _ = []
+
+(* Candidates approach [i] from the 0 side: 0, i − i/2, i − i/4, …,
+   i − 1. Greedy descent over this list converges to any pass/fail
+   boundary in O(log i) rounds (like a binary search). *)
+let int i =
+  if i = 0 then []
+  else
+    let rec approach acc d =
+      if d = 0 then List.rev acc else approach ((i - d) :: acc) (d / 2)
+    in
+    approach [] i
+
+let list shrink_elt xs =
+  let len = List.length xs in
+  if len = 0 then []
+  else
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    let rec drop k = function
+      | rest when k = 0 -> rest
+      | [] -> []
+      | _ :: rest -> drop (k - 1) rest
+    in
+    let halves = if len >= 2 then [ take (len / 2) xs; drop (len / 2) xs ] else [] in
+    let singles = List.init len (fun i -> List.filteri (fun j _ -> j <> i) xs) in
+    let elementwise =
+      List.concat
+        (List.mapi
+           (fun i x ->
+             List.map
+               (fun x' -> List.mapi (fun j y -> if j = i then x' else y) xs)
+               (shrink_elt x))
+           xs)
+    in
+    halves @ singles @ elementwise
+
+let pair sa sb (a, b) =
+  List.map (fun a' -> (a', b)) (sa a) @ List.map (fun b' -> (a, b')) (sb b)

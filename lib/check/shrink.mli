@@ -1,0 +1,22 @@
+(** Shrinking strategies for property-test counterexamples.
+
+    A shrinker maps a value to a list of strictly "smaller" candidate
+    values, tried in order. {!Prop.check} applies the property's
+    shrinker greedily: take the first candidate that still fails,
+    restart from it, stop at a local minimum. Shrinkers must be
+    well-founded (every chain of candidates is finite) or shrinking
+    will diverge. *)
+
+type 'a t = 'a -> 'a list
+
+val nothing : 'a t
+(** No candidates: disables shrinking. *)
+
+val int : int t
+(** Towards 0: candidates [0, i − i/2, i − i/4, …, i − 1], so greedy
+    descent binary-searches down to a pass/fail boundary. *)
+
+val list : 'a t -> 'a list t
+(** Drop elements (halves, then singles), then shrink each element. *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t

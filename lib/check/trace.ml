@@ -1,0 +1,151 @@
+open Fact_topology
+
+type decision = Step of int | Crash of int
+
+type t = {
+  n : int;
+  participants : Pset.t;
+  decisions : decision list;
+}
+
+let pid_of = function Step p | Crash p -> p
+
+let make ~n ~participants decisions =
+  if n < 1 || n > Pset.max_processes then invalid_arg "Trace.make: bad n";
+  if not (Pset.subset participants (Pset.full n)) then
+    invalid_arg "Trace.make: participants outside universe";
+  let crashed = ref Pset.empty in
+  List.iter
+    (fun d ->
+      let p = pid_of d in
+      if not (Pset.mem p participants) then
+        invalid_arg "Trace.make: decision on a non-participant";
+      if Pset.mem p !crashed then
+        invalid_arg "Trace.make: decision on a crashed process";
+      match d with
+      | Crash p -> crashed := Pset.add p !crashed
+      | Step _ -> ())
+    decisions;
+  { n; participants; decisions }
+
+let n t = t.n
+let participants t = t.participants
+let decisions t = t.decisions
+let length t = List.length t.decisions
+
+let crashes t =
+  List.fold_left
+    (fun acc -> function Crash p -> Pset.add p acc | Step _ -> acc)
+    Pset.empty t.decisions
+
+let pp_decision ppf = function
+  | Step p -> Format.fprintf ppf "s%d" p
+  | Crash p -> Format.fprintf ppf "c%d" p
+
+let pp ppf t =
+  let pp_sep ppf () = Format.pp_print_string ppf " " in
+  Format.fprintf ppf "((n %d) (participants (%a)) (decisions (%a)))" t.n
+    (Format.pp_print_list ~pp_sep Format.pp_print_int)
+    (Pset.to_list t.participants)
+    (Format.pp_print_list ~pp_sep pp_decision)
+    t.decisions
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  a.n = b.n && Pset.equal a.participants b.participants
+  && a.decisions = b.decisions
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a minimal s-expression reader for the fixed shape above.  *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize s =
+  let toks = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := `Atom (Buffer.contents buf) :: !toks;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' -> flush (); toks := `LP :: !toks
+      | ')' -> flush (); toks := `RP :: !toks
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !toks
+
+let parse_sexp toks =
+  let rec go toks =
+    match toks with
+    | `Atom a :: rest -> Ok (Atom a, rest)
+    | `LP :: rest ->
+      let rec items acc toks =
+        match toks with
+        | `RP :: rest -> Ok (List (List.rev acc), rest)
+        | [] -> Error "unclosed ("
+        | _ ->
+          (match go toks with
+          | Ok (x, rest) -> items (x :: acc) rest
+          | Error _ as e -> e)
+      in
+      items [] rest
+    | `RP :: _ -> Error "unexpected )"
+    | [] -> Error "empty input"
+  in
+  match go toks with
+  | Ok (x, []) -> Ok x
+  | Ok (_, _ :: _) -> Error "trailing tokens"
+  | Error _ as e -> e
+
+let int_atom = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "not an integer: %S" a))
+  | List _ -> Error "expected an integer atom"
+
+let decision_atom = function
+  | Atom a when String.length a >= 2 -> (
+    let p = int_of_string_opt (String.sub a 1 (String.length a - 1)) in
+    match (a.[0], p) with
+    | 's', Some p -> Ok (Step p)
+    | 'c', Some p -> Ok (Crash p)
+    | _ -> Error (Printf.sprintf "bad decision %S" a))
+  | Atom a -> Error (Printf.sprintf "bad decision %S" a)
+  | List _ -> Error "expected a decision atom"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest -> (
+    match f x with
+    | Ok y -> (
+      match map_result f rest with Ok ys -> Ok (y :: ys) | Error _ as e -> e)
+    | Error _ as e -> e)
+
+let of_string s =
+  match parse_sexp (tokenize s) with
+  | Error _ as e -> e
+  | Ok (List
+      [
+        List [ Atom "n"; n_sexp ];
+        List [ Atom "participants"; List parts ];
+        List [ Atom "decisions"; List decs ];
+      ]) -> (
+    match
+      ( int_atom n_sexp,
+        map_result int_atom parts,
+        map_result decision_atom decs )
+    with
+    | Ok n, Ok parts, Ok decs -> (
+      match make ~n ~participants:(Pset.of_list parts) decs with
+      | t -> Ok t
+      | exception Invalid_argument msg -> Error msg)
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  | Ok _ -> Error "expected ((n _) (participants (_)) (decisions (_)))"

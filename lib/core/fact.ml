@@ -29,6 +29,7 @@ module Simplex_agreement = Fact_tasks.Simplex_agreement
 module Solver = Fact_tasks.Solver
 module Approximate_agreement = Fact_tasks.Approximate_agreement
 module Mu_map = Fact_tasks.Mu_map
+module Op = Fact_runtime.Op
 module Schedule = Fact_runtime.Schedule
 module Exec = Fact_runtime.Exec
 module Memory = Fact_runtime.Memory
@@ -39,6 +40,14 @@ module Affine_runner = Fact_runtime.Affine_runner
 module Adaptive_consensus = Fact_runtime.Adaptive_consensus
 module Simulation = Fact_runtime.Simulation
 module Alpha_sc = Fact_runtime.Alpha_sc
+module Trace = Fact_check.Trace
+module Replay = Fact_check.Replay
+module Explore = Fact_check.Explore
+module Minimize = Fact_check.Minimize
+module Gen = Fact_check.Gen
+module Shrink = Fact_check.Shrink
+module Prop = Fact_check.Prop
+module Harness = Fact_check.Harness
 
 type classification = {
   superset_closed : bool;

@@ -1,6 +1,6 @@
 (** FACT — the Fair Asynchronous Computability Theorem, executable.
 
-    Umbrella API over the five sub-libraries. Re-exports the module
+    Umbrella API over the six sub-libraries. Re-exports the module
     hierarchy and offers the theorem-level entry points:
 
     - {!affine_task_of_adversary}: the affine task [R_A] capturing a
@@ -44,6 +44,7 @@ module Simplex_agreement = Fact_tasks.Simplex_agreement
 module Solver = Fact_tasks.Solver
 module Approximate_agreement = Fact_tasks.Approximate_agreement
 module Mu_map = Fact_tasks.Mu_map
+module Op = Fact_runtime.Op
 module Schedule = Fact_runtime.Schedule
 module Exec = Fact_runtime.Exec
 module Memory = Fact_runtime.Memory
@@ -54,6 +55,14 @@ module Affine_runner = Fact_runtime.Affine_runner
 module Adaptive_consensus = Fact_runtime.Adaptive_consensus
 module Simulation = Fact_runtime.Simulation
 module Alpha_sc = Fact_runtime.Alpha_sc
+module Trace = Fact_check.Trace
+module Replay = Fact_check.Replay
+module Explore = Fact_check.Explore
+module Minimize = Fact_check.Minimize
+module Gen = Fact_check.Gen
+module Shrink = Fact_check.Shrink
+module Prop = Fact_check.Prop
+module Harness = Fact_check.Harness
 
 type classification = {
   superset_closed : bool;

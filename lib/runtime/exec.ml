@@ -1,10 +1,14 @@
 open Fact_topology
 
-type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Yield : Op.t option -> unit Effect.t
 
 let yield () =
-  try Effect.perform Yield with
-  | Effect.Unhandled Yield -> ()
+  try Effect.perform (Yield None) with
+  | Effect.Unhandled (Yield _) -> ()
+
+let yield_op op =
+  try Effect.perform (Yield (Some op)) with
+  | Effect.Unhandled (Yield _) -> ()
 
 type 'r outcome = Decided of 'r | Crashed of int | Running
 
@@ -14,10 +18,11 @@ type 'r report = {
   hit_step_budget : bool;
 }
 
-(* A fiber is either not yet started, paused at a yield, or done. *)
+(* A fiber is either not yet started, paused at a yield (remembering
+   the operation it is about to perform, if announced), or done. *)
 type 'r status =
   | Finished of 'r
-  | Paused of (unit, 'r status) Effect.Deep.continuation
+  | Paused of Op.t option * (unit, 'r status) Effect.Deep.continuation
 
 type 'r fiber =
   | Not_started of (unit -> 'r)
@@ -33,13 +38,13 @@ let handler =
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | Yield ->
+        | Yield op ->
           Some
-            (fun (k : (a, _) Effect.Deep.continuation) -> Paused k)
+            (fun (k : (a, _) Effect.Deep.continuation) -> Paused (op, k))
         | _ -> None);
   }
 
-let run ?(max_steps = 100_000) ~schedule procs =
+let run ?(max_steps = 100_000) ?on_step ~schedule procs =
   let n = Schedule.n schedule in
   if Array.length procs <> n then invalid_arg "Exec.run: arity mismatch";
   let participants = Schedule.participants schedule in
@@ -49,6 +54,7 @@ let run ?(max_steps = 100_000) ~schedule procs =
         else Terminated)
   in
   let outcomes = Array.make n Running in
+  let pending = Array.make n Op.Start in
   let steps_of = Array.make n 0 in
   let total = ref 0 in
   let alive () =
@@ -66,6 +72,9 @@ let run ?(max_steps = 100_000) ~schedule procs =
     outcomes.(pid) <- Crashed steps_of.(pid)
   in
   let step pid =
+    (match on_step with
+    | Some f -> f ~pid (pending.(pid) : Op.pending)
+    | None -> ());
     let status =
       match fibers.(pid) with
       | Not_started f -> Effect.Deep.match_with f () handler
@@ -78,15 +87,19 @@ let run ?(max_steps = 100_000) ~schedule procs =
     | Finished r ->
       fibers.(pid) <- Terminated;
       outcomes.(pid) <- Decided r
-    | Paused k -> fibers.(pid) <- Suspended k
+    | Paused (op, k) ->
+      fibers.(pid) <- Suspended k;
+      pending.(pid) <-
+        (match op with Some op -> Op.Op op | None -> Op.Unlabeled)
   in
+  let pending_of i = pending.(i) in
   let hit_budget = ref false in
   let rec loop () =
     let a = alive () in
     if Pset.is_empty a then ()
     else if !total >= max_steps then hit_budget := true
     else
-      match Schedule.next schedule ~alive:a with
+      match Schedule.next ~pending:pending_of schedule ~alive:a with
       | None -> ()
       | Some pid ->
         if Schedule.crash_now schedule ~pid ~steps_taken:steps_of.(pid) then begin

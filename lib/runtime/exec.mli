@@ -1,17 +1,27 @@
 (** Cooperative executor for asynchronous shared-memory protocols,
     built on OCaml 5 effects.
 
-    Each process runs as a fiber; it calls {!yield} before every atomic
-    shared-memory operation, giving the scheduler an interleaving point.
-    Code between two yields executes atomically — this is how the
-    atomic-snapshot semantics of {!Memory} is realized. A {!Schedule}
-    decides which fiber steps next and which processes crash. *)
+    Each process runs as a fiber; it calls {!yield} (or {!yield_op},
+    announcing the operation it is about to perform) before every
+    atomic shared-memory operation, giving the scheduler an
+    interleaving point. Code between two yields executes atomically —
+    this is how the atomic-snapshot semantics of {!Memory} is realized.
+    A {!Schedule} decides which fiber steps next and which processes
+    crash; controlled schedules additionally see the pending operation
+    of every suspended fiber, which is what the systematic explorer of
+    [Fact_check] uses to prune commuting interleavings. *)
 
 open Fact_topology
 
 val yield : unit -> unit
 (** Interleaving point. A no-op when called outside {!run} (so protocol
     code can also be executed sequentially, e.g. in unit tests). *)
+
+val yield_op : Op.t -> unit
+(** Like {!yield}, but announces the shared-memory operation the
+    process will perform right after being rescheduled. All {!Memory}
+    primitives yield through this, so controlled schedules know each
+    process's pending operation. *)
 
 type 'r outcome =
   | Decided of 'r     (** the process returned a value *)
@@ -26,6 +36,7 @@ type 'r report = {
 
 val run :
   ?max_steps:int ->
+  ?on_step:(pid:int -> Op.pending -> unit) ->
   schedule:Schedule.t ->
   (int -> 'r) array ->
   'r report
@@ -34,7 +45,12 @@ val run :
     the schedule dictates, until every non-crashed participant has
     decided (or [max_steps], default 100_000, is hit — then remaining
     processes report [Running]). Non-participants report [Running]
-    with 0 steps. Exceptions raised by a process propagate. *)
+    with 0 steps. Exceptions raised by a process propagate.
+
+    [on_step] is a trace hook called right before each scheduler step
+    with the stepping process and the operation it is about to perform
+    ([Start] for its very first step). Crash events do not invoke the
+    hook (they execute no operation). *)
 
 val decided : 'r report -> (int * 'r) list
 (** The decided processes with their values, by increasing id. *)

@@ -1,18 +1,24 @@
-type 'a t = { cells : 'a option array }
+type 'a t = { id : int; cells : 'a option array }
 
-let create n = { cells = Array.make n None }
+(* Globally unique object ids, so schedules can tell operations on
+   distinct memories apart (see {!Op}). Atomic for safety under
+   multi-domain test runners; the executor itself is single-domain. *)
+let next_id = Atomic.make 0
+
+let create n = { id = Atomic.fetch_and_add next_id 1; cells = Array.make n None }
 let n t = Array.length t.cells
+let id t = t.id
 
 let update t ~pid v =
-  Exec.yield ();
+  Exec.yield_op { Op.obj = t.id; kind = Op.Write pid };
   t.cells.(pid) <- Some v
 
 let snapshot t =
-  Exec.yield ();
+  Exec.yield_op { Op.obj = t.id; kind = Op.Snapshot };
   Array.copy t.cells
 
 let get t i =
-  Exec.yield ();
+  Exec.yield_op { Op.obj = t.id; kind = Op.Read i };
   t.cells.(i)
 
 let peek t i = t.cells.(i)

@@ -10,6 +10,10 @@ type 'a t
 val create : int -> 'a t
 val n : 'a t -> int
 
+val id : 'a t -> int
+(** Globally unique object id, used to label this memory's operations
+    in {!Op.t} descriptors. *)
+
 val update : 'a t -> pid:int -> 'a -> unit
 (** One atomic step: write the cell of [pid]. *)
 

@@ -1,0 +1,45 @@
+(** Descriptors of atomic shared-memory operations.
+
+    Every shared-memory primitive of the runtime ({!Memory}, and hence
+    {!Immediate_snapshot} and everything above it) announces the
+    operation it is about to perform when it yields to the scheduler.
+    Schedules that care (the model-checking explorer of [Fact_check])
+    use the descriptors to decide which pairs of steps commute; the
+    built-in randomized schedules ignore them.
+
+    Two operations {e conflict} when the order of their execution can
+    be observed: they touch the same object and overlapping cells, and
+    at least one of them writes. Steps whose pending operations do not
+    conflict commute — executing them in either order reaches the same
+    state — which is what justifies sleep-set pruning during
+    systematic exploration. *)
+
+type kind =
+  | Write of int  (** writes cell [i] of the object *)
+  | Read of int   (** reads cell [i] of the object *)
+  | Snapshot      (** atomically reads every cell of the object *)
+
+type t = {
+  obj : int;  (** unique id of the shared object (see {!Memory.id}) *)
+  kind : kind;
+}
+
+type pending =
+  | Start      (** fiber not started: its first step runs only local
+                   code up to the first yield, no shared operation *)
+  | Unlabeled  (** suspended at a bare {!Exec.yield}: unknown
+                   operation, conservatively conflicts with
+                   everything *)
+  | Op of t    (** suspended immediately before this operation *)
+
+val conflict : t -> t -> bool
+(** Same object, overlapping cells, at least one write. *)
+
+val commute : pending -> pending -> bool
+(** Do the next steps of two {e distinct} processes commute? [Start]
+    commutes with everything (a start step is purely local);
+    [Unlabeled] commutes with nothing; two known operations commute
+    iff they do not {!conflict}. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_pending : Format.formatter -> pending -> unit

@@ -5,6 +5,10 @@ type kind =
   | Round_robin of { mutable last : int }
   | Sequential
   | Random of Random.State.t
+  | Controlled of {
+      next : alive:Pset.t -> pending:(int -> Op.pending) -> int option;
+      crash : pid:int -> steps_taken:int -> bool;
+    }
 
 type t = {
   n : int;
@@ -19,7 +23,9 @@ let participants t = t.participants
 let faulty t =
   Pset.filter (fun p -> t.crash_after.(p) < max_int) t.participants
 
-let next t ~alive =
+let no_pending : int -> Op.pending = fun _ -> Op.Unlabeled
+
+let next ?(pending = no_pending) t ~alive =
   if Pset.is_empty alive then None
   else
     match t.kind with
@@ -33,8 +39,12 @@ let next t ~alive =
     | Random st ->
       let cands = Pset.to_list alive in
       Some (List.nth cands (Random.State.int st (List.length cands)))
+    | Controlled c -> c.next ~alive ~pending
 
-let crash_now t ~pid ~steps_taken = steps_taken >= t.crash_after.(pid)
+let crash_now t ~pid ~steps_taken =
+  match t.kind with
+  | Controlled c -> c.crash ~pid ~steps_taken
+  | _ -> steps_taken >= t.crash_after.(pid)
 
 let no_crash n = Array.make n max_int
 
@@ -43,6 +53,13 @@ let round_robin ~n ~participants =
 
 let sequential ~n ~participants =
   { n; participants; crash_after = no_crash n; kind = Sequential }
+
+let controlled ~n ~participants ~next ~crash_now =
+  { n;
+    participants;
+    crash_after = no_crash n;
+    kind = Controlled { next; crash = crash_now };
+  }
 
 let random ~seed ~n ~participants ~crashes =
   let crash_after = no_crash n in

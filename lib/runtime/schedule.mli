@@ -17,15 +17,32 @@ type t
 val n : t -> int
 val participants : t -> Pset.t
 val faulty : t -> Pset.t
-(** The processes this schedule will crash. *)
+(** The processes this schedule will crash. Empty for {!controlled}
+    schedules (their crashes are decided by the callback, not known up
+    front). *)
 
-val next : t -> alive:Pset.t -> int option
+val next : ?pending:(int -> Op.pending) -> t -> alive:Pset.t -> int option
 (** The next process to step among [alive] (running processes that are
     neither finished nor crashed), or [None] to stop (never happens for
-    the built-in schedules while [alive] is nonempty). *)
+    the built-in schedules while [alive] is nonempty). [pending]
+    reports the operation each process is suspended before — the
+    executor supplies it; only {!controlled} schedules look at it, and
+    it defaults to "unknown" when absent. *)
 
 val crash_now : t -> pid:int -> steps_taken:int -> bool
 (** Should this process crash before taking its next step? *)
+
+val controlled :
+  n:int ->
+  participants:Pset.t ->
+  next:(alive:Pset.t -> pending:(int -> Op.pending) -> int option) ->
+  crash_now:(pid:int -> steps_taken:int -> bool) ->
+  t
+(** A schedule driven entirely by callbacks: [next] names the process
+    to step (or [None] to stop the run), [crash_now] decides crashes.
+    This is the hook the systematic explorer and the trace replayer of
+    [Fact_check] plug into; the callbacks see the pending operation of
+    every suspended fiber. *)
 
 val round_robin : n:int -> participants:Pset.t -> t
 (** Failure-free round-robin among the participants. *)

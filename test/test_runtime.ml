@@ -283,6 +283,35 @@ let test_algorithm1_theorem7 () =
         participations)
     adversaries_n3
 
+let test_algorithm1_theorem7_prop () =
+  (* Theorem 7 through the lib/check property core: explicit seeds
+     (each iteration replays standalone from (seed, i)), shrinking over
+     the (schedule seed, participation) pair. The fixed-seed loop above
+     stays as the fingerprint regression. *)
+  let open Fact_check in
+  List.iter
+    (fun (name, adv) ->
+      let alpha = Agreement.of_adversary adv in
+      let ra = Ra.complex alpha ~n:3 in
+      let parts =
+        List.filter
+          (fun p -> Agreement.eval alpha p >= 1)
+          (Pset.nonempty_subsets (Pset.full 3))
+      in
+      Prop.run ~count:60 ~seed:0xFAC7 ~name:(name ^ ": theorem 7")
+        ~shrink:(Shrink.pair Shrink.int Shrink.int)
+        ~pp:(fun ppf (s, i) ->
+          Format.fprintf ppf "(seed %d, participation %a)" s Pset.pp
+            (List.nth parts i))
+        (Gen.pair (Gen.int_range 100 10_000) (Gen.int (List.length parts)))
+        (fun (seed, i) ->
+          let participation = List.nth parts i in
+          let liveness, safety =
+            algorithm1_trial alpha ra ~seed ~participation
+          in
+          liveness && safety))
+    adversaries_n3
+
 let test_algorithm1_sequential () =
   (* Fully sequential run under wait-freedom: the ordered 2-round run;
      also deterministic, so assert the exact simplex. *)
@@ -581,6 +610,28 @@ let test_simulation_collect_inputs () =
       (Simulation.snapshots_contained outcome)
   done
 
+let test_simulation_collect_inputs_prop () =
+  (* The same simulation property through the lib/check core, on seeds
+     disjoint from the fingerprint loop above. *)
+  let open Fact_check in
+  Prop.run ~count:40 ~seed:0x51D ~name:"collect-inputs in R_1-res*"
+    ~shrink:Shrink.int ~pp:Format.pp_print_int (Gen.int_range 61 5000)
+    (fun seed ->
+      let outcome =
+        Simulation.run ~task:ra_1res_task
+          ~picker:(Affine_runner.random_picker ~seed)
+          ~max_rounds:60
+          (Simulation.collect_inputs_protocol ~threshold:2
+             ~inputs:(fun pid -> 100 + pid))
+      in
+      List.length outcome.Simulation.decisions = 3
+      && List.for_all
+           (fun (_, vals) ->
+             List.length vals >= 2
+             && List.for_all (fun v -> v >= 100 && v <= 102) vals)
+           outcome.Simulation.decisions
+      && Simulation.snapshots_contained outcome)
+
 let starving_facet =
   (* Both IS rounds are {p0,p1},{p2}: p0 and p1 never see p2. *)
   let s3 = List.hd (Complex.facets (Chr.standard 3)) in
@@ -644,6 +695,7 @@ let suite =
     ("IS round-robin synchronous", `Quick, test_is_round_robin_synchronous);
     ("IIS sequential facet", `Quick, test_iis_sequential_facet);
     ("Algorithm 1: Theorem 7 (randomized)", `Slow, test_algorithm1_theorem7);
+    ("Algorithm 1: Theorem 7 (prop core)", `Slow, test_algorithm1_theorem7_prop);
     ("Algorithm 1: sequential run", `Quick, test_algorithm1_sequential);
     ("Algorithm 1: A-compliant schedules", `Slow, test_algorithm1_adversarial_schedules);
     ("affine runner: trace composes into L^m", `Quick, test_affine_runner_trace_composes);
@@ -655,6 +707,7 @@ let suite =
     ("alpha-SC object is consensus at power 1", `Quick, test_alpha_sc_consensus_power_one);
     ("committed set consensus (§6.1)", `Slow, test_adaptive_consensus_committed);
     ("AS simulation in R_A* (§6.1)", `Slow, test_simulation_collect_inputs);
+    ("AS simulation (prop core)", `Slow, test_simulation_collect_inputs_prop);
     ("fast/slow ⊥ mechanism (§6.1)", `Quick, test_simulation_fast_slow);
     ("ablation: wait phase of Algorithm 1", `Slow, test_algorithm1_wait_phase_ablation);
     qt prop_alpha_sc_adaptive;

@@ -187,6 +187,116 @@ let test_fact_full_inputs_consensus_1of () =
   check_bool "µ-map certified on full inputs" true
     (Solver.check_map ~protocol ~task:t m)
 
+(* ------------------------------------------------------------------ *)
+(* The µ_Q leader map: Properties 9/10/12 and Solver certification    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mu_q_leader_properties () =
+  (* Validity (the leader is a participating member of Q), agreement
+     (at most α(carrier) leaders per simplex) and robustness
+     (µ_Q = µ_{Q ∩ carrier}) — exhaustively over every facet of R_A
+     and every nonempty Q, for both running examples. *)
+  List.iter
+    (fun (name, alpha) ->
+      let ra = Ra.complex alpha ~n:3 in
+      List.iter
+        (fun f ->
+          List.iter
+            (fun q ->
+              let theta = Simplex.restrict f q in
+              if not (Simplex.is_empty theta) then begin
+                check_bool (name ^ " agreement") true
+                  (Pset.cardinal (Mu.leaders alpha ~q theta)
+                  <= Agreement.eval alpha (Simplex.base_carrier theta));
+                List.iter
+                  (fun v ->
+                    let l = Mu.leader alpha ~q v in
+                    check_bool (name ^ " validity") true
+                      (Pset.mem l q && Pset.mem l (Vertex.base_carrier v));
+                    let q' = Pset.inter q (Vertex.base_carrier v) in
+                    check_bool (name ^ " robustness") true
+                      (Mu.leader alpha ~q:q' v = l))
+                  (Simplex.vertices theta)
+              end)
+            (Pset.nonempty_subsets (Pset.full 3)))
+        (Complex.facets ra))
+    [
+      ("1-OF", Agreement.k_obstruction_free ~n:3 ~k:1);
+      ("fig5b", Agreement.of_adversary Adversary.fig5b);
+    ]
+
+let test_mu_decided_value () =
+  (* decided_value recovers the leader's input from the vertex view:
+     on R_A(1-res) over inputs 20/21/22, every vertex decides
+     20 + leader. *)
+  let alpha = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
+  let protocol =
+    Affine_task.apply (Ra.task alpha ~n:3)
+      (Task.fixed_inputs [ 20; 21; 22 ])
+  in
+  List.iter
+    (fun v ->
+      let leader = Mu.leader alpha ~q:(Pset.full 3) v in
+      check "decided = leader input" (20 + leader)
+        (Mu_map.decided_value v ~leader))
+    (Complex.vertices protocol)
+
+let test_mu_map_corrupt_rejected () =
+  (* check_map is a real certifier: corrupting a certified µ-map (swap
+     the outputs of two differently-colored vertices, breaking
+     chromaticity) must be rejected. *)
+  let adv = Adversary.k_obstruction_free ~n:3 ~k:1 in
+  let alpha = Agreement.of_adversary adv in
+  let t = Set_consensus.task_fixed ~n:3 ~k:1 ~inputs:[ 0; 1; 2 ] in
+  let protocol = ra_protocol adv t.Task.inputs in
+  let m = Mu_map.set_consensus_map ~alpha ~protocol in
+  check_bool "uncorrupted is certified" true
+    (Solver.check_map ~protocol ~task:t m);
+  let corrupt =
+    match m with
+    | (v1, o1) :: (v2, o2) :: rest -> (v1, o2) :: (v2, o1) :: rest
+    | _ -> Alcotest.fail "map too small"
+  in
+  check_bool "corrupted is rejected" false
+    (Solver.check_map ~protocol ~task:t corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex agreement, n = 3, end to end through the solver            *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_agreement_solver_wait_free_n3 () =
+  (* Simplex agreement on Chr s is solvable by deciding one's own
+     vertex; the solver finds and certifies a map. *)
+  let l = Affine_task.full_chr ~n:3 ~ell:1 in
+  let t = Simplex_agreement.of_affine l in
+  let protocol = Affine_task.apply l t.Task.inputs in
+  match Solver.solve ~protocol ~task:t with
+  | Solver.Solvable m ->
+    check_bool "certified" true (Solver.check_map ~protocol ~task:t m)
+  | Solver.Unsolvable -> Alcotest.fail "simplex agreement unsolvable?"
+
+let test_simplex_agreement_solver_1of_n3 () =
+  (* Simplex agreement on R_1-OF (outputs restricted to the affine
+     task of 1-obstruction-freedom): still solvable from one R_1-OF
+     iteration, and every solution simplex respects carriers. *)
+  let l = Rkof.task ~n:3 ~k:1 in
+  let t = Simplex_agreement.of_affine l in
+  let protocol = Affine_task.apply l t.Task.inputs in
+  match Solver.solve ~protocol ~task:t with
+  | Solver.Solvable m ->
+    check_bool "certified" true (Solver.check_map ~protocol ~task:t m);
+    List.iter
+      (fun f ->
+        let image =
+          Simplex.make
+            (List.sort_uniq Vertex.compare
+               (List.map (fun v -> List.assoc v m) (Simplex.vertices f)))
+        in
+        check_bool "carrier respected" true
+          (Simplex_agreement.carrier_respected l image))
+      (Complex.facets protocol)
+  | Solver.Unsolvable -> Alcotest.fail "simplex agreement unsolvable in R_1-OF"
+
 let test_approximate_agreement_staircase () =
   (* One Chr round trisects the interval (n = 2), so the minimal depth
      for a map is ⌈log₃ range⌉. *)
@@ -243,6 +353,14 @@ let suite =
     ("FACT µ-map on full inputs (1-OF)", `Slow,
      test_fact_full_inputs_consensus_1of);
     ("iteration search", `Quick, test_solvable_by_iteration);
+    ("µ_Q leader: validity/agreement/robustness", `Slow,
+     test_mu_q_leader_properties);
+    ("µ decided_value recovers leader input", `Quick, test_mu_decided_value);
+    ("µ-map corruption rejected", `Quick, test_mu_map_corrupt_rejected);
+    ("simplex agreement via solver (wait-free n=3)", `Quick,
+     test_simplex_agreement_solver_wait_free_n3);
+    ("simplex agreement via solver (1-OF n=3)", `Slow,
+     test_simplex_agreement_solver_1of_n3);
     ("approximate agreement: depth staircase", `Slow,
      test_approximate_agreement_staircase);
     ("approximate agreement: task shape", `Quick,
