@@ -5,6 +5,11 @@
    independent of the domain count. With [domains <= 1] the sequential
    path is taken and no domain is spawned at all.
 
+   Every spawned domain is joined before any exception escapes — a
+   raising [f] (on the head chunk or in a worker) must not leak
+   running domains. The first failure is re-raised once all workers
+   are joined.
+
    Workers may construct simplices (and hence intern vertices): the
    intern table is mutex-protected, and everything a constructor
    returns is immutable, so results are safely published by
@@ -41,6 +46,34 @@ let chunks k xs =
   in
   loop 0 xs []
 
+let guard f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+(* Run one closure per chunk — the head chunk on the calling domain,
+   the rest in fresh domains — joining *every* spawned domain before
+   re-raising the first failure. *)
+let fan_out runners =
+  match runners with
+  | [] -> []
+  | [ r ] -> r ()
+  | head :: rest ->
+    let workers = List.map (fun r -> Domain.spawn (fun () -> guard r)) rest in
+    let head_result = guard head in
+    let joined =
+      List.map
+        (fun d ->
+          match Domain.join d with
+          | r -> r
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+        workers
+    in
+    let results = head_result :: joined in
+    match
+      List.find_map (function Error e -> Some e | Ok _ -> None) results
+    with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      List.concat_map (function Ok r -> r | Error _ -> assert false) results
+
 let map ?domains f xs =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
@@ -48,13 +81,8 @@ let map ?domains f xs =
   if domains <= 1 then List.map f xs
   else
     match chunks domains xs with
-    | [] | [ _ ] -> List.map f xs
-    | first :: rest ->
-      let workers =
-        List.map (fun chunk -> Domain.spawn (fun () -> List.map f chunk)) rest
-      in
-      let head = List.map f first in
-      head :: List.map Domain.join workers |> List.concat
+    | ([] | [ _ ]) -> List.map f xs
+    | cs -> fan_out (List.map (fun chunk () -> List.map f chunk) cs)
 
 let concat_map ?domains f xs = List.concat (map ?domains f xs)
 
@@ -67,20 +95,13 @@ let map_init ?domains init f xs =
     List.map (f ctx) xs
   else
     match chunks domains xs with
-    | [] | [ _ ] ->
+    | ([] | [ _ ]) ->
       let ctx = init () in
       List.map (f ctx) xs
-    | first :: rest ->
-      let workers =
-        List.map
-          (fun chunk ->
-            Domain.spawn (fun () ->
-                let ctx = init () in
-                List.map (f ctx) chunk))
-          rest
-      in
-      let head =
-        let ctx = init () in
-        List.map (f ctx) first
-      in
-      head :: List.map Domain.join workers |> List.concat
+    | cs ->
+      fan_out
+        (List.map
+           (fun chunk () ->
+             let ctx = init () in
+             List.map (f ctx) chunk)
+           cs)
