@@ -7,15 +7,57 @@
      solve     decide k-set-consensus solvability from R_A iterations
      chr       print statistics of Chr^m s
      explore   model-check a protocol over all interleavings (lib/check)
+     chaos     inject faults into the resilience layer and audit it
+     census    classify every adversary over n processes
 
    Adversaries are given either by a preset name
    (wait-free | t-res:T | k-of:K | fig5b) or as explicit live sets,
-   e.g. --live 0,1 --live 2. *)
+   e.g. --live 0,1 --live 2.
+
+   Exit codes (see DESIGN.md, "Failure model and resource bounds"):
+     0  success
+     1  property violation / counterexample found / chaos invariant broken
+     2  precondition or usage error
+     3  deadline exceeded (--timeout)
+     4  cancelled
+     5  worker failure (parallel fan-out)
+     6  resource limit *)
 
 open Cmdliner
 open Fact_core.Fact
 
 let pf = Format.printf
+
+(* ------------------------- error rendering ------------------------ *)
+
+(* Every subcommand body runs under this wrapper: typed [Fact_error]s
+   map to their documented exit codes, stray [Failure]/
+   [Invalid_argument] render as usage errors (exit 2). [--timeout]
+   installs an ambient cooperative deadline for the whole body. *)
+let guarded timeout f =
+  let body () =
+    match timeout with
+    | None -> f ()
+    | Some s -> Cancel.with_token (Cancel.create ~deadline_s:s ()) f
+  in
+  match body () with
+  | () -> ()
+  | exception Fact_error.Error err ->
+    prerr_endline ("fact: " ^ Fact_error.to_string err);
+    exit (Fact_error.exit_code err)
+  | exception (Failure msg | Invalid_argument msg) ->
+    prerr_endline ("fact: " ^ msg);
+    exit 2
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Cooperative deadline for the whole command: long-running \
+           pipelines poll an ambient token and abort with exit code 3 \
+           once SECS seconds elapsed.")
 
 (* ----------------------------- adversary argument ----------------- *)
 
@@ -62,11 +104,7 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
 let with_adversary f n preset live_sets =
-  match adversary_of ~n ~preset ~live_sets with
-  | adv -> f n adv
-  | exception Failure msg | exception Invalid_argument msg ->
-    prerr_endline ("fact: " ^ msg);
-    exit 2
+  f n (adversary_of ~n ~preset ~live_sets)
 
 (* ----------------------------- analyze ---------------------------- *)
 
@@ -94,7 +132,10 @@ let analyze n adv =
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Classify an adversary (Figure 2).")
-    Term.(const (with_adversary analyze) $ n_arg $ preset_arg $ live_arg)
+    Term.(
+      const (fun timeout n preset live ->
+          guarded timeout (fun () -> with_adversary analyze n preset live))
+      $ timeout_arg $ n_arg $ preset_arg $ live_arg)
 
 (* ----------------------------- affine ----------------------------- *)
 
@@ -116,17 +157,18 @@ let affine n adv =
 let affine_cmd =
   Cmd.v
     (Cmd.info "affine" ~doc:"Build the affine task R_A (Definition 9).")
-    Term.(const (with_adversary affine) $ n_arg $ preset_arg $ live_arg)
+    Term.(
+      const (fun timeout n preset live ->
+          guarded timeout (fun () -> with_adversary affine n preset live))
+      $ timeout_arg $ n_arg $ preset_arg $ live_arg)
 
 (* ----------------------------- run -------------------------------- *)
 
 let run_alg1 seed n adv =
   let alpha = Agreement.of_adversary adv in
   let participation = Pset.full n in
-  if Agreement.eval alpha participation < 1 then begin
-    prerr_endline "fact: alpha(full participation) = 0, no alpha-model run";
-    exit 2
-  end;
+  if Agreement.eval alpha participation < 1 then
+    failwith "alpha(full participation) = 0, no alpha-model run";
   let schedule = Schedule.alpha_model ~seed alpha ~participation in
   pf "faulty processes: %a@." Pset.pp (Schedule.faulty schedule);
   let report = Algorithm1.run alpha ~schedule in
@@ -156,9 +198,10 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Execute Algorithm 1 under a random alpha-model schedule.")
     Term.(
-      const (fun seed n preset live ->
-          with_adversary (run_alg1 seed) n preset live)
-      $ seed_arg $ n_arg $ preset_arg $ live_arg)
+      const (fun timeout seed n preset live ->
+          guarded timeout (fun () ->
+              with_adversary (run_alg1 seed) n preset live))
+      $ timeout_arg $ seed_arg $ n_arg $ preset_arg $ live_arg)
 
 (* ----------------------------- solve ------------------------------ *)
 
@@ -185,8 +228,9 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:"Decide k-set-consensus solvability from R_A (Theorem 16).")
     Term.(
-      const (fun k n preset live -> with_adversary (solve k) n preset live)
-      $ k_arg $ n_arg $ preset_arg $ live_arg)
+      const (fun timeout k n preset live ->
+          guarded timeout (fun () -> with_adversary (solve k) n preset live))
+      $ timeout_arg $ k_arg $ n_arg $ preset_arg $ live_arg)
 
 (* ----------------------------- chr -------------------------------- *)
 
@@ -202,17 +246,32 @@ let chr_cmd =
   in
   Cmd.v
     (Cmd.info "chr" ~doc:"Statistics of the iterated chromatic subdivision.")
-    Term.(const chr $ n_arg $ m_arg)
+    Term.(
+      const (fun timeout n m -> guarded timeout (fun () -> chr n m))
+      $ timeout_arg $ n_arg $ m_arg)
 
 (* ----------------------------- explore ---------------------------- *)
 
-let explore protocol max_depth max_runs max_crashes skip_wait n preset
-    live_sets =
+let load_checkpoint file =
+  match Checkpoint.load file with
+  | Ok ck -> ck
+  | Error msg -> failwith (file ^ ": " ^ msg)
+
+let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
+    checkpoint_every resume_file n preset live_sets =
   let participants = Pset.full n in
+  let resume = Option.map load_checkpoint resume_file in
+  let on_checkpoint =
+    Option.map (fun file ck -> Checkpoint.save file ck) checkpoint_file
+  in
+  let checkpoint_every =
+    if checkpoint_file = None then 0 else checkpoint_every
+  in
   match protocol with
   | "is" ->
     let stats, parts =
-      Harness.explore_immediate_snapshot ~max_depth ~max_runs ~n ()
+      Harness.explore_immediate_snapshot ~max_depth ~max_runs ?resume
+        ~checkpoint_every ?on_checkpoint ~n ()
     in
     pf "one-shot IS, n=%d: %a@." n Explore.pp_stats stats;
     pf "distinct ordered partitions: %d (fubini %d = %d)@."
@@ -222,19 +281,15 @@ let explore protocol max_depth max_runs max_crashes skip_wait n preset
     let adv =
       match (preset, live_sets) with
       | None, [] -> Adversary.wait_free n
-      | _ -> (
-        match adversary_of ~n ~preset ~live_sets with
-        | adv -> adv
-        | exception Failure msg ->
-          prerr_endline ("fact: " ^ msg);
-          exit 2)
+      | _ -> adversary_of ~n ~preset ~live_sets
     in
     let alpha = Agreement.of_adversary adv in
     pf "adversary: %a@." Adversary.pp adv;
     if skip_wait then pf "ablation: wait phase disabled@.";
     let stats =
       Harness.explore_algorithm1 ~skip_wait ?max_crashes ~max_depth
-        ~max_runs ~alpha ~participants ()
+        ~max_runs ?resume ~checkpoint_every ?on_checkpoint ~alpha
+        ~participants ()
     in
     pf "Algorithm 1, n=%d: %a@." n Explore.pp_stats stats;
     (match stats.Explore.violations with
@@ -253,9 +308,7 @@ let explore protocol max_depth max_runs max_crashes skip_wait n preset
         (Trace.length shrunk);
       pf "%a@." Trace.pp shrunk;
       exit 1)
-  | p ->
-    prerr_endline ("fact: unknown protocol " ^ p ^ " (alg1 | is)");
-    exit 2
+  | p -> failwith ("unknown protocol " ^ p ^ " (alg1 | is)")
 
 let explore_cmd =
   let protocol_arg =
@@ -289,6 +342,31 @@ let explore_cmd =
           ~doc:"Ablation: drop Algorithm 1's wait phase (lines 6-9); the \
                 explorer then finds runs escaping R_A.")
   in
+  let checkpoint_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable checkpoint to FILE periodically (see \
+             --checkpoint-every) and when a --timeout deadline trips \
+             mid-search.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "checkpoint-every" ] ~docv:"RUNS"
+          ~doc:"Checkpoint every RUNS executions (with --checkpoint).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume an interrupted exploration from a checkpoint FILE; the \
+             final counts equal an uninterrupted run's.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -296,16 +374,46 @@ let explore_cmd =
           pruning and crash injection) and check outputs against R_A. The \
           adversary defaults to wait-free.")
     Term.(
-      const explore $ protocol_arg $ max_depth_arg $ max_runs_arg
-      $ max_crashes_arg $ skip_wait_arg $ n_arg $ preset_arg $ live_arg)
+      const (fun timeout protocol max_depth max_runs max_crashes skip_wait
+                 checkpoint_file checkpoint_every resume_file n preset live ->
+          guarded timeout (fun () ->
+              explore protocol max_depth max_runs max_crashes skip_wait
+                checkpoint_file checkpoint_every resume_file n preset live))
+      $ timeout_arg $ protocol_arg $ max_depth_arg $ max_runs_arg
+      $ max_crashes_arg $ skip_wait_arg $ checkpoint_file_arg
+      $ checkpoint_every_arg $ resume_arg $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- chaos ------------------------------ *)
+
+let chaos_run seed max_faults =
+  let stats = Chaos.run ~seed ~max_faults () in
+  pf "chaos: %a@." Chaos.pp_stats stats;
+  match stats.Chaos.violations with
+  | [] -> pf "all invariants held@."
+  | vs ->
+    List.iter (fun m -> pf "violation: %s@." m) vs;
+    exit 1
+
+let chaos_cmd =
+  let max_faults_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "max-faults" ] ~doc:"Number of faults to inject.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject worker crashes, cancellations and cache evictions into \
+          the R_A pipeline and audit the resilience invariants.")
+    Term.(
+      const (fun timeout seed max_faults ->
+          guarded timeout (fun () -> chaos_run seed max_faults))
+      $ timeout_arg $ seed_arg $ max_faults_arg)
 
 (* ----------------------------- census ----------------------------- *)
 
 let census_run n =
-  if n > 4 then begin
-    prerr_endline "fact: census is exhaustive; n <= 4 only";
-    exit 2
-  end;
+  if n > 4 then failwith "census is exhaustive; n <= 4 only";
   pf "census over all adversaries, n=%d:@." n;
   pf "%a@." Census.pp (Census.exhaustive ~n);
   pf "fair task-computability classes: %d@."
@@ -315,13 +423,26 @@ let census_cmd =
   Cmd.v
     (Cmd.info "census"
        ~doc:"Classify every adversary over n processes (quantified Figure 2).")
-    Term.(const census_run $ n_arg)
+    Term.(
+      const (fun timeout n -> guarded timeout (fun () -> census_run n))
+      $ timeout_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "0 on success; 1 when a property violation, counterexample or \
+         chaos-invariant failure was found; 2 on a precondition or usage \
+         error; 3 when a --timeout deadline was exceeded; 4 when \
+         cancelled; 5 on a parallel worker failure; 6 on a resource \
+         limit.";
+    ]
+  in
   let info =
-    Cmd.info "fact" ~version:"1.0.0"
+    Cmd.info "fact" ~version:"1.0.0" ~man
       ~doc:
         "Affine tasks for fair adversaries (Kuznetsov, Rieutord, He, PODC \
          2018) — executable."
@@ -330,4 +451,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
-            explore_cmd; census_cmd ]))
+            explore_cmd; chaos_cmd; census_cmd ]))

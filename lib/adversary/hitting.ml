@@ -9,7 +9,8 @@ let minimum_hitting_set sets =
   List.iter
     (fun s ->
       if Pset.is_empty s then
-        invalid_arg "Hitting: empty member has no hitting set")
+        Fact_resilience.Fact_error.precondition ~fn:"Hitting.minimum_hitting_set"
+          "empty member has no hitting set")
     sets;
   let best = ref None in
   let best_size = ref max_int in
@@ -33,6 +34,9 @@ let minimum_hitting_set sets =
   search Pset.empty 0 sets;
   match !best with
   | Some h -> h
-  | None -> assert false (* search with no pruning always finds one *)
+  | None ->
+    (* search with no pruning always finds one *)
+    Fact_resilience.Fact_error.precondition ~fn:"Hitting.minimum_hitting_set"
+      "internal invariant: exhaustive search found no hitting set"
 
 let csize sets = Pset.cardinal (minimum_hitting_set sets)

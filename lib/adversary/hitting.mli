@@ -10,8 +10,8 @@ open Fact_topology
 
 val csize : Pset.t list -> int
 (** Minimum hitting-set size of the collection; 0 for the empty
-    collection. Raises [Invalid_argument] if some member is empty (no
-    hitting set exists). Exact branch-and-bound, exponential in the
+    collection. Raises a [Precondition] {!Fact_resilience.Fact_error}
+    if some member is empty (no hitting set exists). Exact branch-and-bound, exponential in the
     worst case but fast for the small universes used here. *)
 
 val minimum_hitting_set : Pset.t list -> Pset.t

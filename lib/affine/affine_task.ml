@@ -5,17 +5,19 @@ type t = { ell : int; complex : Complex.t }
 let check_facet_level ell f =
   List.for_all (fun v -> Vertex.level v = ell) (Simplex.vertices f)
 
+let precondition = Fact_resilience.Fact_error.precondition
+
 let make ~ell complex =
   if Complex.is_empty complex then
-    invalid_arg "Affine_task.make: empty complex";
+    precondition ~fn:"Affine_task.make" "empty complex";
   if not (Complex.is_pure complex) then
-    invalid_arg "Affine_task.make: complex is not pure";
+    precondition ~fn:"Affine_task.make" "complex is not pure";
   List.iter
     (fun f ->
       if not (check_facet_level ell f) then
-        invalid_arg "Affine_task.make: facet at wrong subdivision level";
+        precondition ~fn:"Affine_task.make" "facet at wrong subdivision level";
       if not (Chr.is_simplex_of_chr f) then
-        invalid_arg "Affine_task.make: facet violates IS conditions")
+        precondition ~fn:"Affine_task.make" "facet violates IS conditions")
     (Complex.facets complex);
   { ell; complex }
 
@@ -33,7 +35,8 @@ let rec substitute sigma v =
   | Vertex.Input { proc; _ } ->
     (match Simplex.find_color proc sigma with
     | Some w -> w
-    | None -> invalid_arg "Affine_task.compose: missing color in host facet")
+    | None ->
+      precondition ~fn:"Affine_task.compose" "missing color in host facet")
   | Vertex.Deriv { proc; carrier } ->
     (* re-sort: substitution does not preserve Vertex.compare order *)
     let carrier =
@@ -45,7 +48,8 @@ let compose_facets ~host inner =
   Simplex.make (List.map (substitute host) (Simplex.vertices inner))
 
 let compose l1 l2 =
-  if n l1 <> n l2 then invalid_arg "Affine_task.compose: different universes";
+  if n l1 <> n l2 then
+    precondition ~fn:"Affine_task.compose" "different universes";
   let gens =
     List.concat_map
       (fun host ->
@@ -59,7 +63,7 @@ let compose l1 l2 =
   { ell = l1.ell + l2.ell; complex = Complex.of_facets ~n:(n l1) gens }
 
 let iterate l m =
-  if m < 1 then invalid_arg "Affine_task.iterate: m must be >= 1";
+  if m < 1 then precondition ~fn:"Affine_task.iterate" "m must be >= 1";
   let rec go acc k = if k = 1 then acc else go (compose acc l) (k - 1) in
   go l m
 
@@ -70,7 +74,8 @@ let apply t inputs =
     List.concat_map
       (fun host ->
         if Simplex.card host <> Complex.n inputs then
-          invalid_arg "Affine_task.apply: input facet not full-dimensional";
+          precondition ~fn:"Affine_task.apply"
+            "input facet not full-dimensional";
         List.map
           (fun inner -> compose_facets ~host inner)
           (Complex.facets t.complex))

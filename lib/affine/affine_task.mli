@@ -13,8 +13,8 @@ type t
 
 val make : ell:int -> Complex.t -> t
 (** Wraps a sub-complex of [Chr^ℓ s]. Checks purity, non-emptiness and
-    (containment/immediacy) validity of all facets; raises
-    [Invalid_argument] on failure. *)
+    (containment/immediacy) validity of all facets; raises a
+    [Precondition] {!Fact_resilience.Fact_error} on failure. *)
 
 val ell : t -> int
 (** Number of IS rounds per iteration. *)

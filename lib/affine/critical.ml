@@ -72,36 +72,29 @@ let analyze_uncached alpha sigma =
     !groups;
   (Simplex.restrict sigma !csm_colors, !csv, !conc)
 
-(* Memoized per (agreement-function stamp, simplex). One mutex guards
-   the whole two-level table, so the cache is safe to hit from worker
-   domains; computation happens outside the lock and a racing
-   duplicate insert is dropped. *)
-let lock = Mutex.create ()
+(* Memoized per (agreement-function stamp, simplex), in one bounded
+   cache safe to hit from worker domains; computation happens outside
+   the cache lock and a racing duplicate insert is dropped. Polls the
+   ambient cancellation token: [analyze] is the inner loop of the R_A
+   facet filter, so cancellation latency stays at one analysis. *)
+module Stamped_cache = Fact_resilience.Cache.Make (struct
+  type t = int * Simplex.t
 
-let tbls : (int, (Simplex.t * Pset.t * int) Simplex.Tbl.t) Hashtbl.t =
-  Hashtbl.create 8
+  let equal (s1, x1) (s2, x2) = s1 = s2 && Simplex.equal x1 x2
+  let hash (s, x) = (s * 0x9e3779b1) lxor Simplex.hash x
+end)
+
+let cache : (Simplex.t * Pset.t * int) Stamped_cache.t =
+  Stamped_cache.create ~name:"critical.analyze"
+    ~equal:(fun (m1, v1, c1) (m2, v2, c2) ->
+      Simplex.equal m1 m2 && Pset.equal v1 v2 && c1 = c2)
+    ()
 
 let analyze alpha sigma =
-  let stamp = Agreement.stamp alpha in
-  Mutex.lock lock;
-  let tbl =
-    match Hashtbl.find_opt tbls stamp with
-    | Some t -> t
-    | None ->
-      let t = Simplex.Tbl.create 1024 in
-      Hashtbl.add tbls stamp t;
-      t
-  in
-  let cached = Simplex.Tbl.find_opt tbl sigma in
-  Mutex.unlock lock;
-  match cached with
-  | Some e -> e
-  | None ->
-    let e = analyze_uncached alpha sigma in
-    Mutex.lock lock;
-    if not (Simplex.Tbl.mem tbl sigma) then Simplex.Tbl.add tbl sigma e;
-    Mutex.unlock lock;
-    e
+  Fact_resilience.Cancel.poll ~where:"Critical.analyze";
+  Stamped_cache.find_or_add cache
+    (Agreement.stamp alpha, sigma)
+    (fun _ -> analyze_uncached alpha sigma)
 
 let members alpha sigma =
   let m, _, _ = analyze alpha sigma in

@@ -120,41 +120,38 @@ let facet_ok_uncached variant alpha sigma =
 
 (* The verdict itself is memoized per (agreement stamp, variant,
    facet): repeated [complex] calls for the same α reduce to a table
-   scan over the facets of [Chr² s]. *)
-let ok_lock = Mutex.create ()
-let ok_tbls : (int * variant, bool Simplex.Tbl.t) Hashtbl.t = Hashtbl.create 8
+   scan over the facets of [Chr² s]. Bounded by FACT_CACHE_CAP;
+   eviction only costs recomputation. *)
+module Verdict_cache = Fact_resilience.Cache.Make (struct
+  type t = int * variant * Simplex.t
+
+  let equal (s1, v1, x1) (s2, v2, x2) =
+    s1 = s2 && v1 = v2 && Simplex.equal x1 x2
+
+  let hash (s, v, x) = Hashtbl.hash (s, v, Simplex.hash x)
+end)
+
+let ok_cache : bool Verdict_cache.t =
+  Verdict_cache.create ~name:"ra.facet_ok" ~equal:Bool.equal ()
 
 let facet_ok ?(variant = default_variant) alpha sigma =
-  let key = (Agreement.stamp alpha, variant) in
-  Mutex.lock ok_lock;
-  let tbl =
-    match Hashtbl.find_opt ok_tbls key with
-    | Some t -> t
-    | None ->
-      let t = Simplex.Tbl.create 256 in
-      Hashtbl.add ok_tbls key t;
-      t
-  in
-  let cached = Simplex.Tbl.find_opt tbl sigma in
-  Mutex.unlock ok_lock;
-  match cached with
-  | Some ok -> ok
-  | None ->
-    let ok = facet_ok_uncached variant alpha sigma in
-    Mutex.lock ok_lock;
-    if not (Simplex.Tbl.mem tbl sigma) then Simplex.Tbl.add tbl sigma ok;
-    Mutex.unlock ok_lock;
-    ok
+  Verdict_cache.find_or_add ok_cache
+    (Agreement.stamp alpha, variant, sigma)
+    (fun _ -> facet_ok_uncached variant alpha sigma)
 
 (* Facets are filtered independently, so the scan fans out over
    domains; workers only hit mutex-protected memo tables and build
    immutable values, and kept facets are re-assembled into a complex
-   on the calling domain. *)
+   on the calling domain. The ambient cancellation token is polled
+   once per facet — even on cache hits, so a warm R_A still cancels
+   promptly. *)
 let complex ?(variant = default_variant) alpha ~n =
   let chr2 = Chr.standard_iterated ~m:2 ~n in
   let kept =
     Parallel.map
-      (fun f -> if facet_ok ~variant alpha f then Some f else None)
+      (fun f ->
+        Fact_resilience.Cancel.poll ~where:"Ra.complex";
+        if facet_ok ~variant alpha f then Some f else None)
       (Complex.facets chr2)
     |> List.filter_map Fun.id
   in

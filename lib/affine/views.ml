@@ -10,10 +10,14 @@ let chr1_carrier v =
 
 (* View1/View2 are asked for every vertex of every face of every facet
    (the contention predicate is pairwise); memoize them per vertex
-   intern id. The carrier simplex itself is already shared through
-   [Simplex.vertex_carrier]. *)
-let lock = Mutex.create ()
-let tbl : (int, Pset.t * Pset.t) Hashtbl.t = Hashtbl.create 1024
+   intern id, bounded by FACT_CACHE_CAP. The carrier simplex itself is
+   already shared through [Simplex.vertex_carrier]. *)
+module Int_cache = Fact_resilience.Cache.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
 
 let compute v =
   let car = Simplex.vertex_carrier v in
@@ -25,20 +29,12 @@ let compute v =
   in
   (view1, view2)
 
+let cache : (Pset.t * Pset.t) Int_cache.t =
+  Int_cache.create ~name:"views.views" ~equal:( = ) ()
+
 let views v =
   level2 "views" v;
-  let i = Vertex.id v in
-  Mutex.lock lock;
-  let cached = Hashtbl.find_opt tbl i in
-  Mutex.unlock lock;
-  match cached with
-  | Some vw -> vw
-  | None ->
-    let vw = compute v in
-    Mutex.lock lock;
-    if not (Hashtbl.mem tbl i) then Hashtbl.add tbl i vw;
-    Mutex.unlock lock;
-    vw
+  Int_cache.find_or_add cache (Vertex.id v) (fun _ -> compute v)
 
 let view1 v =
   level2 "view1" v;

@@ -1,0 +1,154 @@
+open Fact_topology
+open Fact_adversary
+open Fact_affine
+open Fact_resilience
+
+type stats = {
+  injected : int;
+  worker_crash : int;
+  worker_transient : int;
+  cancellations : int;
+  evictions : int;
+  typed_errors : int;
+  completed : int;
+  violations : string list;
+}
+
+(* The fan-out workload: big enough to split into several chunks. *)
+let items = List.init 60 Fun.id
+let f_ref x = (x * x) + 1
+let expected = List.map f_ref items
+
+let run ?(seed = 0) ~max_faults () =
+  if max_faults < 1 then
+    Fact_error.precondition ~fn:"Chaos.run" "max_faults must be >= 1";
+  let rng = Random.State.make [| seed; 0xc4a05 |] in
+  let worker_crash = ref 0 in
+  let worker_transient = ref 0 in
+  let cancellations = ref 0 in
+  let evictions = ref 0 in
+  let typed_errors = ref 0 in
+  let completed = ref 0 in
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf (fun m -> violations := m :: !violations) fmt
+  in
+  (* Pipeline references, computed fault-free up front. Two agreement
+     functions so cache keys for distinct α coexist under chaos. *)
+  let alphas =
+    [
+      Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1);
+      Agreement.of_adversary (Adversary.wait_free 3);
+    ]
+  in
+  let refs = List.map (fun a -> (a, Ra.complex a ~n:3)) alphas in
+  let check_pipeline what =
+    List.iter
+      (fun (a, reference) ->
+        match Ra.complex a ~n:3 with
+        | c ->
+          if not (Complex.equal c reference) then
+            violation "%s: R_A differs from the fault-free reference" what
+        | exception e ->
+          violation "%s: fault-free recompute raised %s" what
+            (Printexc.to_string e))
+      refs
+  in
+  (* Recompute-equality checking stays on for the whole storm so every
+     eviction is audited. *)
+  Cache.set_check true;
+  for _ = 1 to max_faults do
+    match Random.State.int rng 4 with
+    | 0 -> (
+      (* Deterministic worker crash: must aggregate to Worker_failure
+         and leave the fan-out reusable. *)
+      incr worker_crash;
+      let bad = Random.State.int rng (List.length items) in
+      (match
+         Parallel.map ~domains:4
+           (fun x ->
+             if x = bad then failwith "chaos: injected worker crash"
+             else f_ref x)
+           items
+       with
+      | _ -> violation "worker crash: deterministic fault returned a result"
+      | exception Fact_error.Error (Fact_error.Worker_failure _) ->
+        incr typed_errors
+      | exception e ->
+        violation "worker crash: untyped escape %s" (Printexc.to_string e));
+      match Parallel.map ~domains:4 f_ref items with
+      | r ->
+        if r = expected then incr completed
+        else violation "worker crash: post-fault fan-out is wrong"
+      | exception e ->
+        violation "worker crash: post-fault fan-out raised %s"
+          (Printexc.to_string e))
+    | 1 -> (
+      (* Transient fault: fails the first time only; the sequential
+         retry must recover the exact reference result. *)
+      incr worker_transient;
+      let bad = Random.State.int rng (List.length items) in
+      let lock = Mutex.create () in
+      let tripped = ref false in
+      let f x =
+        if x = bad then begin
+          Mutex.lock lock;
+          let first = not !tripped in
+          tripped := true;
+          Mutex.unlock lock;
+          if first then failwith "chaos: transient worker fault"
+        end;
+        f_ref x
+      in
+      match Parallel.map ~domains:4 f items with
+      | r ->
+        if r = expected then incr completed
+        else violation "transient: retried result differs from reference"
+      | exception e ->
+        violation "transient: retry did not absorb the fault (%s)"
+          (Printexc.to_string e))
+    | 2 -> (
+      (* Mid-pipeline cancellation: trips after a random number of
+         polls; outcome must be the reference result or a typed
+         Cancelled, and the pipeline must stay healthy afterwards. *)
+      let alpha, reference = List.nth refs (Random.State.int rng 2) in
+      let tok = Cancel.create ~trip_after:(Random.State.int rng 40) () in
+      (match Cancel.with_token tok (fun () -> Ra.complex alpha ~n:3) with
+      | c ->
+        if Complex.equal c reference then incr completed
+        else violation "cancel: completed run differs from reference"
+      | exception Fact_error.Error (Fact_error.Cancelled _) ->
+        incr cancellations;
+        incr typed_errors
+      | exception e ->
+        violation "cancel: untyped escape %s" (Printexc.to_string e));
+      check_pipeline "cancel")
+    | _ ->
+      (* Forced eviction under recompute-equality checking: the
+         recomputed pipeline must match; a cache that recomputes a
+         different value raises from inside [find_or_add]. *)
+      incr evictions;
+      let before = List.length !violations in
+      Cache.force_evict_all ();
+      check_pipeline "evict";
+      if List.length !violations = before then incr completed
+  done;
+  Cache.set_check false;
+  {
+    injected = max_faults;
+    worker_crash = !worker_crash;
+    worker_transient = !worker_transient;
+    cancellations = !cancellations;
+    evictions = !evictions;
+    typed_errors = !typed_errors;
+    completed = !completed;
+    violations = List.rev !violations;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "injected %d (worker crash %d, transient %d, cancel trips %d, \
+     evictions %d) typed errors %d completed %d violations %d"
+    s.injected s.worker_crash s.worker_transient s.cancellations s.evictions
+    s.typed_errors s.completed
+    (List.length s.violations)

@@ -1,0 +1,43 @@
+(** Fault-injection harness for the resilience layer.
+
+    Each injection picks one fault kind at random (seeded, so runs are
+    reproducible) and checks the corresponding invariant:
+
+    - {b worker crash}: a deterministically-failing chunk inside
+      {!Fact_topology.Parallel.map} must surface as a single typed
+      [Worker_failure] — never a raw exception, a hang, or a partial
+      result — and the very next fan-out must succeed (no leaked
+      domains or poisoned state).
+    - {b transient worker fault}: a chunk that fails once and then
+      succeeds must be recovered by the sequential retry, with the
+      result byte-identical to the fault-free reference.
+    - {b cancellation}: an ambient {!Fact_resilience.Cancel} token
+      tripping after a random number of polls inside [Ra.complex]
+      either lets the call complete with the reference result or
+      raises a typed [Cancelled]; a fault-free recompute afterwards
+      still matches the reference.
+    - {b forced eviction}: with recompute-equality checking on, all
+      bounded caches are flushed mid-pipeline and the recomputed
+      [R_A] must equal the reference (a mismatch raises from the cache
+      itself and is reported as a violation).
+
+    [run] returns counts per kind plus any violation messages; a
+    healthy tree reports [violations = []]. *)
+
+type stats = {
+  injected : int;         (** total faults injected *)
+  worker_crash : int;
+  worker_transient : int;
+  cancellations : int;    (** cancel faults that actually tripped *)
+  evictions : int;
+  typed_errors : int;     (** faults surfacing as typed [Fact_error] *)
+  completed : int;        (** faults absorbed with correct results *)
+  violations : string list;  (** invariant failures, oldest first *)
+}
+
+val run : ?seed:int -> max_faults:int -> unit -> stats
+(** [run ~max_faults ()] injects [max_faults] faults (default
+    [seed = 0]). Raises a [Precondition] {!Fact_resilience.Fact_error}
+    if [max_faults < 1]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

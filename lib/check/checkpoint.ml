@@ -1,0 +1,121 @@
+open Fact_topology
+
+type t = {
+  protocol : string;
+  n : int;
+  participants : Pset.t;
+  state : Explore.checkpoint;
+  parts : Opart.t list;
+}
+
+let ints_s is = "(" ^ String.concat " " (List.map string_of_int is) ^ ")"
+
+let decision_s = function
+  | Trace.Step p -> "s" ^ string_of_int p
+  | Trace.Crash p -> "c" ^ string_of_int p
+
+let frontier_entry_s (d, done_) =
+  Printf.sprintf "(%s (%s))" (decision_s d)
+    (String.concat " " (List.map decision_s done_))
+
+let part_s part =
+  "("
+  ^ String.concat " "
+      (List.map (fun b -> ints_s (Pset.to_list b)) (Opart.blocks part))
+  ^ ")"
+
+let to_string t =
+  Printf.sprintf
+    "((protocol %s) (n %d) (participants %s) (runs %d) (truncated %d) \
+     (pruned %d) (patterns %s) (frontier (%s)) (parts (%s)))"
+    t.protocol t.n
+    (ints_s (Pset.to_list t.participants))
+    t.state.Explore.ck_runs t.state.Explore.ck_truncated
+    t.state.Explore.ck_pruned
+    (ints_s t.state.Explore.ck_patterns)
+    (String.concat " " (List.map frontier_entry_s t.state.Explore.frontier))
+    (String.concat " " (List.map part_s t.parts))
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl ->
+    let* y = f x in
+    let* ys = map_result f tl in
+    Ok (y :: ys)
+
+let of_string s =
+  let open Trace in
+  let* sx = parse_sexp_string s in
+  match sx with
+  | List
+      [
+        List [ Atom "protocol"; Atom protocol ];
+        List [ Atom "n"; n_sx ];
+        List [ Atom "participants"; List parts_sx ];
+        List [ Atom "runs"; runs_sx ];
+        List [ Atom "truncated"; tr_sx ];
+        List [ Atom "pruned"; pr_sx ];
+        List [ Atom "patterns"; List pat_sx ];
+        List [ Atom "frontier"; List fr_sx ];
+        List [ Atom "parts"; List opart_sx ];
+      ] ->
+    let* n = int_of_sexp n_sx in
+    let* participants = map_result int_of_sexp parts_sx in
+    let* ck_runs = int_of_sexp runs_sx in
+    let* ck_truncated = int_of_sexp tr_sx in
+    let* ck_pruned = int_of_sexp pr_sx in
+    let* ck_patterns = map_result int_of_sexp pat_sx in
+    let entry = function
+      | List [ d_sx; List done_sx ] ->
+        let* d = decision_of_sexp d_sx in
+        let* dn = map_result decision_of_sexp done_sx in
+        Ok (d, dn)
+      | _ -> Error "bad frontier entry: expected (decision (decisions))"
+    in
+    let* frontier = map_result entry fr_sx in
+    let block = function
+      | List b ->
+        let* is = map_result int_of_sexp b in
+        Ok (Pset.of_list is)
+      | Atom _ -> Error "bad block: expected a list of process ids"
+    in
+    let opart = function
+      | List bs -> (
+        let* blocks = map_result block bs in
+        match Opart.make blocks with
+        | p -> Ok p
+        | exception Invalid_argument m -> Error m)
+      | Atom _ -> Error "bad partition: expected a list of blocks"
+    in
+    let* parts = map_result opart opart_sx in
+    Ok
+      {
+        protocol;
+        n;
+        participants = Pset.of_list participants;
+        state =
+          { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier };
+        parts;
+      }
+  | _ -> Error "malformed checkpoint file"
+
+let save file t =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load file =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string (String.trim s)
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (file ^ ": truncated read")

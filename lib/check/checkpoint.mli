@@ -1,0 +1,36 @@
+(** Persistence for interrupted explorations.
+
+    A checkpoint file records everything needed to resume a [fact
+    explore] run: which protocol was being explored (so a resume
+    against the wrong one fails fast), the universe, the explorer's
+    {!Explore.checkpoint} (counters plus decision frontier), and — for
+    the immediate-snapshot harness — the distinct ordered partitions
+    already observed. The format is the same s-expression dialect as
+    {!Trace}, one value per file:
+
+    {v ((protocol is) (n 2) (participants (0 1)) (runs 5)
+        (truncated 0) (pruned 1) (patterns (0 3))
+        (frontier ((s0 (s1)) (s1 ())))
+        (parts (((0) (1)) ((0 1))))) v} *)
+
+open Fact_topology
+
+type t = {
+  protocol : string;  (** e.g. ["is"] or ["alg1"]; checked on resume *)
+  n : int;
+  participants : Pset.t;
+  state : Explore.checkpoint;
+  parts : Opart.t list;
+      (** partitions observed so far ([is] harness; empty otherwise) *)
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+(** [save file t] writes [to_string t] to [file] atomically enough for
+    our purposes (truncate + write + close). *)
+
+val load : string -> (t, string) result
+(** [load file] reads and parses [file]; [Error msg] on I/O or parse
+    failure. *)

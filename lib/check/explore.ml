@@ -29,6 +29,21 @@ type 'r stats = {
   exhausted : bool;
 }
 
+(* A resumable snapshot of the DFS: the counters so far plus, for every
+   depth of the current path, the chosen decision and the fully
+   explored siblings. [enabled], [sleep0], [ops] and [crashes_before]
+   are deliberately absent — they are deterministic functions of the
+   decision prefix and are rebuilt by re-executing one (uncounted
+   at checkpoint time) run along [frontier]. *)
+type checkpoint = {
+  ck_runs : int;
+  ck_truncated : int;
+  ck_pruned : int;
+  ck_patterns : int list; (* Pset masks of completed runs' faulty sets *)
+  frontier : (Trace.decision * Trace.decision list) list;
+      (* (chosen, done) per depth, outermost first *)
+}
+
 (* A node of the decision tree, one per depth of the current DFS path.
    [enabled] is fixed at node creation; [chosen] is the decision of the
    current run; [done_] accumulates fully-explored siblings; [sleep0]
@@ -56,7 +71,8 @@ let independent node d1 d2 =
   | Trace.Crash _, Trace.Crash _ -> false
 
 let explore ?(config = config ()) ?(stop_on_violation = false)
-    ?(on_run = fun _ -> ()) ~n ~participants ~procs ~prop () =
+    ?(on_run = fun _ -> ()) ?resume ?(checkpoint_every = 0)
+    ?(on_checkpoint = fun _ -> ()) ~n ~participants ~procs ~prop () =
   let cfg = config in
   let path : node option array = Array.make cfg.max_depth None in
   let plen = ref 0 in
@@ -65,6 +81,21 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
   let pruned = ref 0 in
   let violations = ref [] in
   let patterns = Hashtbl.create 16 in
+  (* Resume: restore the counters; the frontier is reinstalled by
+     forcing the first run along the checkpointed decisions, rebuilding
+     each node's [enabled]/[sleep0]/[ops] deterministically. *)
+  let forced, forced_done =
+    match resume with
+    | None -> ([||], [||])
+    | Some ck ->
+      runs := ck.ck_runs;
+      truncated_runs := ck.ck_truncated;
+      pruned := ck.ck_pruned;
+      List.iter (fun m -> Hashtbl.replace patterns m ()) ck.ck_patterns;
+      ( Array.of_list (List.map fst ck.frontier),
+        Array.of_list (List.map snd ck.frontier) )
+  in
+  let forcing = ref (Array.length forced > 0) in
   let node_at i = match path.(i) with Some nd -> nd | None -> assert false in
 
   (* One execution following the current path as prefix, extending it
@@ -111,19 +142,38 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
                   (fun z -> independent par z par.chosen)
                   (par.sleep0 @ par.done_)
             in
-            match
-              List.find_opt (fun d -> not (List.mem d sleep0)) enabled
-            with
+            let choice =
+              if !forcing && !depth < Array.length forced then begin
+                (* Resume: rebuild the checkpointed node. The forced
+                   decision must still be enabled — anything else means
+                   the checkpoint was taken against a different
+                   protocol or configuration. *)
+                let d = forced.(!depth) in
+                if not (List.mem d enabled) then
+                  Fact_resilience.Fact_error.precondition
+                    ~fn:"Explore.explore"
+                    "checkpoint does not match the protocol (forced \
+                     decision not enabled)";
+                Some (d, forced_done.(!depth))
+              end
+              else
+                match
+                  List.find_opt (fun d -> not (List.mem d sleep0)) enabled
+                with
+                | None -> None
+                | Some d -> Some (d, [])
+            in
+            match choice with
             | None ->
               (* Every enabled decision is asleep: all continuations are
                  commutation-equivalent to already-explored runs. *)
               blocked := true;
               None
-            | Some d ->
+            | Some (d, done0) ->
               let ops = Array.init n (fun i -> pending i) in
               path.(!depth) <-
                 Some
-                  { chosen = d; done_ = []; sleep0; enabled; ops;
+                  { chosen = d; done_ = done0; sleep0; enabled; ops;
                     crashes_before };
               plen := !depth + 1;
               Some d
@@ -183,11 +233,39 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
       (List.init !plen (fun i -> (node_at i).chosen))
   in
 
+  (* Snapshot for resume. Taken at the top of the loop, so the frontier
+     is exactly the prefix the next (not yet counted) run will follow:
+     a resumed exploration replays that one run under forcing and then
+     continues as if never interrupted. *)
+  let current_checkpoint () =
+    {
+      ck_runs = !runs;
+      ck_truncated = !truncated_runs;
+      ck_pruned = !pruned;
+      ck_patterns = Hashtbl.fold (fun m () acc -> m :: acc) patterns [];
+      frontier =
+        List.init !plen (fun i ->
+            let nd = node_at i in
+            (nd.chosen, nd.done_));
+    }
+  in
+
   let executions = ref 0 in
   let exhausted = ref false in
   let stop = ref false in
   while (not !stop) && !executions < cfg.max_runs do
+    (* Cancellation is polled once per run; a trip flushes a final
+       checkpoint so the exploration can be resumed later. *)
+    (try Fact_resilience.Cancel.poll ~where:"Explore.explore"
+     with Fact_resilience.Fact_error.Error _ as e ->
+       on_checkpoint (current_checkpoint ());
+       raise e);
+    if
+      checkpoint_every > 0 && !executions > 0
+      && !executions mod checkpoint_every = 0
+    then on_checkpoint (current_checkpoint ());
     let report, truncated, blocked = run_once () in
+    forcing := false;
     incr executions;
     if blocked then incr pruned
     else begin

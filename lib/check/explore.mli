@@ -63,10 +63,29 @@ type 'r stats = {
   exhausted : bool;      (** the whole bounded space was covered *)
 }
 
+type checkpoint = {
+  ck_runs : int;
+  ck_truncated : int;
+  ck_pruned : int;
+  ck_patterns : int list;
+      (** {!Pset.to_mask} of each completed run's faulty set *)
+  frontier : (Trace.decision * Trace.decision list) list;
+      (** per depth, outermost first: the chosen decision and the
+          fully-explored siblings *)
+}
+(** A resumable snapshot of the DFS. [enabled], sleep sets and pending
+    operations are deliberately absent: they are deterministic
+    functions of the decision prefix, so resuming replays one run
+    under forcing along [frontier] to rebuild them. Serialized by
+    {!Checkpoint}. *)
+
 val explore :
   ?config:config ->
   ?stop_on_violation:bool ->
   ?on_run:('r outcome -> unit) ->
+  ?resume:checkpoint ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(checkpoint -> unit) ->
   n:int ->
   participants:Pset.t ->
   procs:(unit -> (int -> 'r) array) ->
@@ -78,6 +97,17 @@ val explore :
     closures over fresh shared state. [prop] is the safety property
     checked on every (completed or truncated) run's report. [on_run]
     observes every such run. [stop_on_violation] (default [false])
-    stops at the first failure — useful as a counterexample finder. *)
+    stops at the first failure — useful as a counterexample finder.
+
+    {b Resilience.} The ambient {!Fact_resilience.Cancel} token is
+    polled once per execution; on a trip the explorer flushes a final
+    checkpoint through [on_checkpoint] and re-raises the typed error.
+    [checkpoint_every = k > 0] also calls [on_checkpoint] every [k]
+    executions (default [0]: never). [resume] restores a previous
+    checkpoint: counters continue from the snapshot and the search
+    first replays the checkpointed frontier, so the resumed
+    exploration reaches exactly the stats an uninterrupted one would.
+    Resuming against a different protocol or configuration raises a
+    [Precondition] {!Fact_resilience.Fact_error}. *)
 
 val pp_stats : Format.formatter -> 'r stats -> unit

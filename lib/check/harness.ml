@@ -12,9 +12,11 @@ let views_of_report report =
     (fun (i, view) -> (i, Immediate_snapshot.view_set view))
     (Exec.decided report)
 
-let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000) ~n ()
-    =
-  let parts = ref [] in
+let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
+    ?resume ?checkpoint_every ?on_checkpoint ~n () =
+  let parts =
+    ref (match resume with Some ck -> ck.Checkpoint.parts | None -> [])
+  in
   let record (outcome : _ Explore.outcome) =
     if not outcome.truncated then
       match Opart.of_views (views_of_report outcome.report) with
@@ -22,10 +24,41 @@ let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000) ~n ()
         parts := part :: !parts
       | Some _ | None -> ()
   in
+  let participants = Pset.full n in
+  let resume_state =
+    match resume with
+    | None -> None
+    | Some ck ->
+      if ck.Checkpoint.protocol <> "is" then
+        Fact_resilience.Fact_error.precondition
+          ~fn:"Harness.explore_immediate_snapshot"
+          (Printf.sprintf "checkpoint is for protocol %S, not \"is\""
+             ck.Checkpoint.protocol);
+      if ck.Checkpoint.n <> n || not (Pset.equal ck.participants participants)
+      then
+        Fact_resilience.Fact_error.precondition
+          ~fn:"Harness.explore_immediate_snapshot"
+          "checkpoint universe does not match";
+      Some ck.Checkpoint.state
+  in
+  let on_checkpoint =
+    Option.map
+      (fun f state ->
+        f
+          {
+            Checkpoint.protocol = "is";
+            n;
+            participants;
+            state;
+            parts = List.sort Opart.compare !parts;
+          })
+      on_checkpoint
+  in
   let stats =
     Explore.explore
       ~config:(Explore.config ~max_depth ~max_runs ())
-      ~on_run:record ~n ~participants:(Pset.full n) ~procs:(is_procs ~n)
+      ~on_run:record ?resume:resume_state ?checkpoint_every ?on_checkpoint
+      ~n ~participants ~procs:(is_procs ~n)
       ~prop:(fun report -> Opart.is_valid_views (views_of_report report))
       ()
   in
@@ -37,8 +70,8 @@ let alg1_prop ~ra report =
   | outputs -> Complex.mem (Algorithm1.simplex_of_outputs outputs) ra
 
 let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
-    ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation ~alpha
-    ~participants () =
+    ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation ?resume
+    ?checkpoint_every ?on_checkpoint ~alpha ~participants () =
   let n = Agreement.n alpha in
   let max_crashes =
     match max_crashes with
@@ -53,8 +86,31 @@ let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
     let inst = Algorithm1.create_instance ~n in
     Array.init n (fun _ pid -> Algorithm1.process ~skip_wait inst alpha ~pid)
   in
+  let resume_state =
+    match resume with
+    | None -> None
+    | Some ck ->
+      if ck.Checkpoint.protocol <> "alg1" then
+        Fact_resilience.Fact_error.precondition
+          ~fn:"Harness.explore_algorithm1"
+          (Printf.sprintf "checkpoint is for protocol %S, not \"alg1\""
+             ck.Checkpoint.protocol);
+      if ck.Checkpoint.n <> n || not (Pset.equal ck.participants participants)
+      then
+        Fact_resilience.Fact_error.precondition
+          ~fn:"Harness.explore_algorithm1"
+          "checkpoint universe does not match";
+      Some ck.Checkpoint.state
+  in
+  let on_checkpoint =
+    Option.map
+      (fun f state ->
+        f { Checkpoint.protocol = "alg1"; n; participants; state; parts = [] })
+      on_checkpoint
+  in
   Explore.explore
     ~config:
       (Explore.config ~max_crashes ~crashable:participants ~max_depth
          ~max_runs ())
-    ?stop_on_violation ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()
+    ?stop_on_violation ?resume:resume_state ?checkpoint_every ?on_checkpoint
+    ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()

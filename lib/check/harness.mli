@@ -27,13 +27,22 @@ val is_procs : n:int -> unit -> (int -> (int * int) list) array
 val explore_immediate_snapshot :
   ?max_depth:int ->
   ?max_runs:int ->
+  ?resume:Checkpoint.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.t -> unit) ->
   n:int ->
   unit ->
   (int * int) list Explore.stats * Opart.t list
 (** Explore all interleavings (failure-free, full participation) of a
     one-shot IS. The property checked on every run is
     {!Opart.is_valid_views} of the decided views. Also returns the
-    distinct ordered partitions of the completed runs, sorted. *)
+    distinct ordered partitions of the completed runs, sorted.
+
+    [resume]/[checkpoint_every]/[on_checkpoint] thread through to
+    {!Explore.explore}, with the observed partitions carried in the
+    {!Checkpoint.t} ([protocol = "is"]). Resuming from a checkpoint of
+    another protocol or universe raises a [Precondition]
+    {!Fact_resilience.Fact_error}. *)
 
 val alg1_prop :
   ra:Complex.t -> Algorithm1.output Exec.report -> bool
@@ -47,6 +56,9 @@ val explore_algorithm1 :
   ?max_depth:int ->
   ?max_runs:int ->
   ?stop_on_violation:bool ->
+  ?resume:Checkpoint.t ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Checkpoint.t -> unit) ->
   alpha:Agreement.t ->
   participants:Pset.t ->
   unit ->
@@ -55,4 +67,7 @@ val explore_algorithm1 :
     Defaults: [max_crashes] is the α-model bound
     [α(participants) − 1] (0 if [α = 0]), all participants crashable,
     [max_depth = 64], [max_runs = 100_000]. The checked property is
-    {!alg1_prop} for [Ra.complex ?variant alpha]. *)
+    {!alg1_prop} for [Ra.complex ?variant alpha].
+
+    [resume]/[checkpoint_every]/[on_checkpoint] behave as in
+    {!explore_immediate_snapshot} ([protocol = "alg1"]). *)

@@ -129,6 +129,10 @@ let rec map_result f = function
       match map_result f rest with Ok ys -> Ok (y :: ys) | Error _ as e -> e)
     | Error _ as e -> e)
 
+let parse_sexp_string s = parse_sexp (tokenize s)
+let int_of_sexp = int_atom
+let decision_of_sexp = decision_atom
+
 let of_string s =
   match parse_sexp (tokenize s) with
   | Error _ as e -> e

@@ -40,3 +40,17 @@ val of_string : string -> (t, string) result
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val pp_decision : Format.formatter -> decision -> unit
+
+(** {2 S-expression plumbing}
+
+    The minimal reader behind {!of_string}, exposed so other persisted
+    artifacts (exploration checkpoints, {!Checkpoint}) share one
+    format and parser. *)
+
+type sexp = Atom of string | List of sexp list
+
+val parse_sexp_string : string -> (sexp, string) result
+val int_of_sexp : sexp -> (int, string) result
+val decision_of_sexp : sexp -> (decision, string) result
+(** Decision atoms are [s<p>] / [c<p>], as printed by
+    {!pp_decision}. *)

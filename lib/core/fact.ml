@@ -40,6 +40,9 @@ module Affine_runner = Fact_runtime.Affine_runner
 module Adaptive_consensus = Fact_runtime.Adaptive_consensus
 module Simulation = Fact_runtime.Simulation
 module Alpha_sc = Fact_runtime.Alpha_sc
+module Fact_error = Fact_resilience.Fact_error
+module Cancel = Fact_resilience.Cancel
+module Cache = Fact_resilience.Cache
 module Trace = Fact_check.Trace
 module Replay = Fact_check.Replay
 module Explore = Fact_check.Explore
@@ -48,6 +51,8 @@ module Gen = Fact_check.Gen
 module Shrink = Fact_check.Shrink
 module Prop = Fact_check.Prop
 module Harness = Fact_check.Harness
+module Checkpoint = Fact_check.Checkpoint
+module Chaos = Fact_check.Chaos
 
 type classification = {
   superset_closed : bool;

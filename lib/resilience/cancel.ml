@@ -1,0 +1,78 @@
+type active = {
+  deadline : float option; (* absolute, Unix.gettimeofday *)
+  budget_s : float;
+  trip_after : int option;
+  polls : int Atomic.t;
+  triggered : bool Atomic.t;
+}
+
+type t = Never | Active of active
+
+let never = Never
+
+let create ?deadline_s ?trip_after () =
+  (match deadline_s with
+  | Some d when d <= 0. ->
+    Fact_error.precondition ~fn:"Cancel.create" "deadline_s must be positive"
+  | _ -> ());
+  (match trip_after with
+  | Some k when k < 0 ->
+    Fact_error.precondition ~fn:"Cancel.create" "trip_after must be >= 0"
+  | _ -> ());
+  Active
+    {
+      deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s;
+      budget_s = Option.value deadline_s ~default:0.;
+      trip_after;
+      polls = Atomic.make 0;
+      triggered = Atomic.make false;
+    }
+
+let cancel = function
+  | Never -> ()
+  | Active a -> Atomic.set a.triggered true
+
+let deadline_passed a =
+  match a.deadline with
+  | Some d -> Unix.gettimeofday () > d
+  | None -> false
+
+let cancelled = function
+  | Never -> false
+  | Active a ->
+    Atomic.get a.triggered
+    || (match a.trip_after with
+       | Some k -> Atomic.get a.polls >= k
+       | None -> false)
+    || deadline_passed a
+
+let check ~where = function
+  | Never -> ()
+  | Active a ->
+    if Atomic.get a.triggered then
+      Fact_error.raise_error (Cancelled { where });
+    (match a.trip_after with
+    | Some k ->
+      if Atomic.fetch_and_add a.polls 1 >= k then begin
+        Atomic.set a.triggered true;
+        Fact_error.raise_error (Cancelled { where })
+      end
+    | None -> ());
+    if deadline_passed a then
+      Fact_error.raise_error
+        (Deadline_exceeded { where; budget_s = a.budget_s })
+
+(* The ambient token. One process-wide slot: Parallel worker domains
+   inherit whatever the coordinating domain installed. *)
+let ambient : t Atomic.t = Atomic.make Never
+
+let with_token t f =
+  let old = Atomic.exchange ambient t in
+  Fun.protect ~finally:(fun () -> Atomic.set ambient old) f
+
+let current () = Atomic.get ambient
+
+let poll ~where =
+  match Atomic.get ambient with
+  | Never -> ()
+  | t -> check ~where t

@@ -1,0 +1,56 @@
+(** Cooperative cancellation tokens.
+
+    A token carries an optional wall-clock deadline, an external
+    trigger, and (for deterministic fault injection) an optional
+    poll-count trip wire. Long-running library loops poll the
+    {e ambient} token — installed for a dynamic scope with
+    {!with_token} — once per unit of work ({!Fact_topology.Chr}
+    subdivision facets, the R_A facet filter, [Critical.analyze]
+    calls, explorer executions), so cancellation latency is one work
+    item, never a whole pipeline stage.
+
+    Polling the default {!never} token is one [Atomic.get] plus an
+    integer test — cheap enough for per-facet granularity.
+
+    The ambient slot is a process-wide atomic: worker domains spawned
+    by {!Fact_topology.Parallel} observe the token installed by the
+    coordinating domain. [with_token] scopes are meant to be driven
+    from one coordinating domain at a time (the CLI entry point);
+    nested scopes on concurrent domains would race on restore. *)
+
+type t
+
+val never : t
+(** The inert token: polling it never raises. *)
+
+val create : ?deadline_s:float -> ?trip_after:int -> unit -> t
+(** A fresh token. [deadline_s] is a budget in seconds from now
+    (wall clock); once elapsed, checks raise
+    [Fact_error.Deadline_exceeded]. [trip_after] trips the token after
+    that many successful polls — deterministic mid-pipeline
+    cancellation for the chaos suite. Raises a [Precondition] error if
+    [deadline_s <= 0] or [trip_after < 0]. *)
+
+val cancel : t -> unit
+(** Trigger externally; subsequent checks raise
+    [Fact_error.Cancelled]. Idempotent. [cancel never] is a no-op. *)
+
+val cancelled : t -> bool
+(** Non-raising probe (trigger, trip wire, or elapsed deadline). Does
+    not advance the trip-wire poll count. *)
+
+val check : where:string -> t -> unit
+(** Poll the token: raises [Fact_error.Error (Cancelled _)] if
+    triggered or tripped, [Fact_error.Error (Deadline_exceeded _)] if
+    the deadline elapsed, and returns unit otherwise. [where] names
+    the cancellation point in the error. *)
+
+val with_token : t -> (unit -> 'a) -> 'a
+(** [with_token t f] installs [t] as the ambient token for the
+    dynamic extent of [f] (restored on return or raise). *)
+
+val current : unit -> t
+(** The ambient token ({!never} outside any [with_token]). *)
+
+val poll : where:string -> unit
+(** [check ~where (current ())] — the one-liner library loops call. *)

@@ -1,0 +1,43 @@
+type t =
+  | Precondition of { fn : string; what : string }
+  | Deadline_exceeded of { where : string; budget_s : float }
+  | Cancelled of { where : string }
+  | Worker_failure of { fn : string; failed : int; chunks : int; first : string }
+  | Resource_limit of { what : string; limit : int; got : int }
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+let precondition ~fn what = raise_error (Precondition { fn; what })
+
+let is_cancellation = function
+  | Error (Cancelled _ | Deadline_exceeded _) -> true
+  | _ -> false
+
+let exit_code = function
+  | Precondition _ -> 2
+  | Deadline_exceeded _ -> 3
+  | Cancelled _ -> 4
+  | Worker_failure _ -> 5
+  | Resource_limit _ -> 6
+
+let to_string = function
+  | Precondition { fn; what } ->
+    Printf.sprintf "fact_error(precondition): %s: %s" fn what
+  | Deadline_exceeded { where; budget_s } ->
+    Printf.sprintf "fact_error(deadline-exceeded): %s: budget %.3fs elapsed"
+      where budget_s
+  | Cancelled { where } -> Printf.sprintf "fact_error(cancelled): %s" where
+  | Worker_failure { fn; failed; chunks; first } ->
+    Printf.sprintf "fact_error(worker-failure): %s: %d/%d chunks failed; first: %s"
+      fn failed chunks first
+  | Resource_limit { what; limit; got } ->
+    Printf.sprintf "fact_error(resource-limit): %s: got %d, limit %d" what got
+      limit
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (to_string e)
+    | _ -> None)

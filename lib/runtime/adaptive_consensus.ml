@@ -9,7 +9,9 @@ type result = {
 (* Per-process state: Some estimate for proposers, None for the rest
    (they still move through the iterations, as IIS mandates). *)
 let solve ~task ~alpha ~q ~proposals ~picker ?(rounds = 1) () =
-  if Pset.is_empty q then invalid_arg "Adaptive_consensus.solve: empty Q";
+  if Pset.is_empty q then
+    Fact_resilience.Fact_error.precondition ~fn:"Adaptive_consensus.solve"
+      "empty Q";
   let init pid = if Pset.mem pid q then Some (proposals pid) else None in
   let step pid v visible =
     if not (Pset.mem pid q) then None
@@ -20,8 +22,10 @@ let solve ~task ~alpha ~q ~proposals ~picker ?(rounds = 1) () =
       | Some None | None ->
         (* Property 9 puts the leader inside the carrier, so its state
            is visible; and leaders are proposers, so they hold an
-           estimate. *)
-        assert false
+           estimate — unless the task is not an R_A for this alpha. *)
+        Fact_resilience.Fact_error.precondition ~fn:"Adaptive_consensus.solve"
+          "leader estimate invisible: task is not an R_A for this alpha \
+           (Property 9 violated)"
     end
   in
   let states = Affine_runner.run task ~rounds ~picker ~init ~step in
@@ -46,7 +50,8 @@ type commit_state = {
 
 let solve_committed ~task ~alpha ~q ~proposals ~picker ~max_rounds =
   if Pset.is_empty q then
-    invalid_arg "Adaptive_consensus.solve_committed: empty Q";
+    Fact_resilience.Fact_error.precondition
+      ~fn:"Adaptive_consensus.solve_committed" "empty Q";
   let init pid =
     if Pset.mem pid q then
       { estimate = Some (proposals pid); committed = None }

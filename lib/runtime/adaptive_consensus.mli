@@ -30,8 +30,9 @@ val solve :
   result
 (** Runs [rounds] (default 1) iterations of the given [R_A] task and
     decides each proposer's current estimate. [proposals pid] is the
-    value proposed by [pid ∈ Q]. Raises [Invalid_argument] if [q] is
-    empty. *)
+    value proposed by [pid ∈ Q]. Raises a [Precondition]
+    {!Fact_resilience.Fact_error} if [q] is empty, or if the leader's
+    estimate is invisible (the task is not an R_A for [alpha]). *)
 
 val validity_ok : q:Pset.t -> proposals:(int -> int) -> result -> bool
 (** Every decision is the proposal of some process in [Q]. *)
@@ -51,7 +52,7 @@ val solve_committed :
     already holds an estimate. Lemma 13's argument gives the same
     α-agreement bound: at the earliest committing iteration all
     proposers hold estimates and Property 10 bounds their diversity;
-    later adoptions only copy existing estimates. Raises
-    [Invalid_argument] on an empty [Q]; processes that never commit
+    later adoptions only copy existing estimates. Raises a
+    [Precondition] {!Fact_resilience.Fact_error} on an empty [Q]; processes that never commit
     within [max_rounds] are absent from [decisions] (does not happen —
     commitment occurs by round 2 — but the executor is defensive). *)

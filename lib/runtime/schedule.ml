@@ -66,7 +66,8 @@ let random ~seed ~n ~participants ~crashes =
   List.iter
     (fun (pid, k) ->
       if not (Pset.mem pid participants) then
-        invalid_arg "Schedule.random: crashing a non-participant";
+        Fact_resilience.Fact_error.precondition ~fn:"Schedule.random"
+          "crashing a non-participant";
       crash_after.(pid) <- k)
     crashes;
   { n;
@@ -93,7 +94,8 @@ let alpha_model ~seed alpha ~participation =
   let n = Agreement.n alpha in
   let a = Agreement.eval alpha participation in
   if a < 1 then
-    invalid_arg "Schedule.alpha_model: alpha(P) = 0, no such run";
+    Fact_resilience.Fact_error.precondition ~fn:"Schedule.alpha_model"
+      "alpha(P) = 0, no such run";
   let st = Random.State.make [| seed; 0x5eed |] in
   let crashes =
     random_crashes st ~candidates:participation ~max_faulty:(a - 1)
@@ -105,7 +107,8 @@ let alpha_model ~seed alpha ~participation =
 
 let adversarial ~seed adv ~live =
   if not (Adversary.is_live live adv) then
-    invalid_arg "Schedule.adversarial: correct set is not a live set";
+    Fact_resilience.Fact_error.precondition ~fn:"Schedule.adversarial"
+      "correct set is not a live set";
   let n = Adversary.n adv in
   let universe = Pset.full n in
   let st = Random.State.make [| seed; 0xadf |] in

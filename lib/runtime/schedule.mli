@@ -59,8 +59,9 @@ val random : seed:int -> n:int -> participants:Pset.t ->
 val alpha_model : seed:int -> Agreement.t -> participation:Pset.t -> t
 (** A random α-model schedule: requires [α(P) ≥ 1]; picks a uniformly
     random faulty subset of size ≤ α(P) − 1 and random crash points,
-    then interleaves uniformly. Raises [Invalid_argument] if
-    [α(P) = 0] (the α-model has no such run). *)
+    then interleaves uniformly. Raises a [Precondition]
+    {!Fact_resilience.Fact_error} if [α(P) = 0] (the α-model has no
+    such run). *)
 
 val adversarial : seed:int -> Adversary.t -> live:Pset.t -> t
 (** A random A-compliant schedule over participation = the whole

@@ -49,7 +49,9 @@ let solve ~protocol ~task =
   let facets =
     List.sort structural_simplex_compare (Complex.facets protocol)
   in
-  if facets = [] then invalid_arg "Solver.solve: empty protocol complex";
+  if facets = [] then
+    Fact_resilience.Fact_error.precondition ~fn:"Solver.solve"
+      "empty protocol complex";
   let Task.{ delta; _ } = task in
   (* ∆ of a simplex depends only on its input carrier; cache it. *)
   let delta_cache = Simplex.Tbl.create 64 in

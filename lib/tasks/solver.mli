@@ -21,7 +21,8 @@ type verdict =
 
 val solve : protocol:Complex.t -> task:Task.t -> verdict
 (** Decides the existence of a chromatic simplicial map carried by ∆.
-    Raises [Invalid_argument] if the protocol complex is empty. *)
+    Raises a [Precondition] {!Fact_resilience.Fact_error} if the
+    protocol complex is empty. *)
 
 val check_map : protocol:Complex.t -> task:Task.t -> assignment -> bool
 (** Validates a candidate map: chromatic, simplicial, and carried by ∆

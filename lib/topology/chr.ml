@@ -1,3 +1,5 @@
+open Fact_resilience
+
 let standard n =
   let vs = List.init n Vertex.base in
   Complex.of_facets ~n [ Simplex.make vs ]
@@ -14,30 +16,37 @@ let subdivide_simplex_raw tau =
 
 (* The facets of [Chr τ] are asked for again on every [iterate] over a
    complex containing τ (and the same τ values recur across reps of the
-   whole pipeline); memoize them per simplex. *)
-let sub_lock = Mutex.create ()
-let sub_tbl : Simplex.t list Simplex.Tbl.t = Simplex.Tbl.create 4096
+   whole pipeline); memoize them per simplex, bounded (Cache evicts
+   LRU-ish past FACT_CACHE_CAP — recomputation is pure, so eviction
+   never changes results). *)
+module Simplex_cache = Cache.Make (struct
+  type t = Simplex.t
+
+  let equal = Simplex.equal
+  let hash = Simplex.hash
+end)
+
+let sub_cache : Simplex.t list Simplex_cache.t =
+  Simplex_cache.create ~name:"chr.subdivide"
+    ~equal:(List.equal Simplex.equal) ()
 
 let subdivide_simplex tau =
-  Mutex.lock sub_lock;
-  let cached = Simplex.Tbl.find_opt sub_tbl tau in
-  Mutex.unlock sub_lock;
-  match cached with
-  | Some fs -> fs
-  | None ->
-    let fs = subdivide_simplex_raw tau in
-    Mutex.lock sub_lock;
-    if not (Simplex.Tbl.mem sub_tbl tau) then Simplex.Tbl.add sub_tbl tau fs;
-    Mutex.unlock sub_lock;
-    fs
+  Simplex_cache.find_or_add sub_cache tau subdivide_simplex_raw
 
 (* Per-facet ordered-partition enumeration is independent across
    facets, so it fans out over domains (Parallel is a no-op for the
    default domain count of 1). Workers only construct immutable
    simplices; the facet list order — and hence the resulting complex —
-   does not depend on the domain count. *)
+   does not depend on the domain count. The ambient cancellation token
+   is polled once per facet, on workers too. *)
 let subdivide k =
-  let gens = Parallel.concat_map subdivide_simplex (Complex.facets k) in
+  let gens =
+    Parallel.concat_map
+      (fun tau ->
+        Cancel.poll ~where:"Chr.subdivide";
+        subdivide_simplex tau)
+      (Complex.facets k)
+  in
   Complex.of_facets ~n:(Complex.n k) gens
 
 let rec iterate m k = if m <= 0 then k else iterate (m - 1) (subdivide k)
@@ -46,34 +55,24 @@ let rec iterate m k = if m <= 0 then k else iterate (m - 1) (subdivide k)
    over the affine pipeline (R_A, R_kOF, R_t-res, full_chr); memoize
    them per (m, n). The cached complexes are shared: treat them as
    immutable. *)
-let std_lock = Mutex.create ()
-let std_tbl : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 16
+module Int_pair_cache = Cache.Make (struct
+  type t = int * int
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+let std_cache : Complex.t Int_pair_cache.t =
+  Int_pair_cache.create ~name:"chr.standard_iterated" ~equal:Complex.equal ()
 
 let standard_iterated ~m ~n =
-  Mutex.lock std_lock;
-  let cached = Hashtbl.find_opt std_tbl (m, n) in
-  Mutex.unlock std_lock;
-  match cached with
-  | Some c -> c
-  | None ->
-    (* Build outside the lock (it can be expensive and may recurse
-       through subdivide); a racing duplicate build is harmless and
-       both results are equal. *)
-    let c = iterate m (standard n) in
-    (* Pre-force the closure cache so sharing the complex with worker
-       domains later never races on it. *)
-    ignore (Complex.simplex_count c);
-    ignore (Complex.euler_characteristic c);
-    Mutex.lock std_lock;
-    let c =
-      match Hashtbl.find_opt std_tbl (m, n) with
-      | Some c' -> c'
-      | None ->
-        Hashtbl.add std_tbl (m, n) c;
-        c
-    in
-    Mutex.unlock std_lock;
-    c
+  Int_pair_cache.find_or_add std_cache (m, n) (fun (m, n) ->
+      let c = iterate m (standard n) in
+      (* Pre-force the closure cache so sharing the complex with worker
+         domains later never races on it. *)
+      ignore (Complex.simplex_count c);
+      ignore (Complex.euler_characteristic c);
+      c)
 
 let facet_of_runs tau runs = List.fold_left facet_of_run tau runs
 
@@ -92,22 +91,11 @@ let run_of_facet_uncached sigma =
   | Some run -> run
   | None -> invalid_arg "Chr.run_of_facet: not a full facet of Chr"
 
-let run_lock = Mutex.create ()
-let run_tbl : Opart.t Simplex.Tbl.t = Simplex.Tbl.create 1024
+let run_cache : Opart.t Simplex_cache.t =
+  Simplex_cache.create ~name:"chr.run_of_facet" ~equal:Opart.equal ()
 
 let run_of_facet sigma =
-  Mutex.lock run_lock;
-  let cached = Simplex.Tbl.find_opt run_tbl sigma in
-  Mutex.unlock run_lock;
-  match cached with
-  | Some run -> run
-  | None ->
-    let run = run_of_facet_uncached sigma in
-    Mutex.lock run_lock;
-    if not (Simplex.Tbl.mem run_tbl sigma) then
-      Simplex.Tbl.add run_tbl sigma run;
-    Mutex.unlock run_lock;
-    run
+  Simplex_cache.find_or_add run_cache sigma run_of_facet_uncached
 
 let carrier = Simplex.carrier
 

@@ -1,20 +1,28 @@
-(* A minimal fan-out shim over OCaml 5 domains (stdlib only, no
+(* A fault-tolerant fan-out shim over OCaml 5 domains (stdlib only, no
    domainslib). Work lists are split into [domains] contiguous chunks;
    each chunk is mapped in a fresh domain and the per-chunk results are
    concatenated in order, so the output is a plain [List.map f] —
    independent of the domain count. With [domains <= 1] the sequential
    path is taken and no domain is spawned at all.
 
-   Every spawned domain is joined before any exception escapes — a
-   raising [f] (on the head chunk or in a worker) must not leak
-   running domains. The first failure is re-raised once all workers
-   are joined.
+   Failure discipline (the parallel path): every spawned domain is
+   joined before any exception escapes, whatever raised where — no
+   leaked domains, no lost chunks. Failed chunks are retried once,
+   sequentially, on the parent (the fall-back to sequential
+   execution); only if the retry fails too does the call raise, with
+   all per-chunk failures aggregated into a single typed
+   [Fact_error.Worker_failure]. Cancellation is the exception to the
+   retry rule: when every failure is a [Cancelled]/[Deadline_exceeded]
+   stop request, the first one is re-raised directly — retrying
+   cancelled work would defeat the point of cancelling it.
 
    Workers may construct simplices (and hence intern vertices): the
    intern table is mutex-protected, and everything a constructor
    returns is immutable, so results are safely published by
    [Domain.join]. Workers must not touch mutable complex caches
    (e.g. [Complex.all_simplices]) on shared complexes. *)
+
+open Fact_resilience
 
 let env_domains =
   match Sys.getenv_opt "FACT_DOMAINS" with
@@ -48,10 +56,13 @@ let chunks k xs =
 
 let guard f = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ())
 
+let reraise (e, bt) = Printexc.raise_with_backtrace e bt
+
 (* Run one closure per chunk — the head chunk on the calling domain,
-   the rest in fresh domains — joining *every* spawned domain before
-   re-raising the first failure. *)
-let fan_out runners =
+   the rest in fresh domains — then join *every* spawned domain before
+   looking at failures. Failed chunks are then retried sequentially on
+   the parent; remaining failures aggregate into one [Worker_failure]. *)
+let fan_out ~fn runners =
   match runners with
   | [] -> []
   | [ r ] -> r ()
@@ -67,12 +78,45 @@ let fan_out runners =
         workers
     in
     let results = head_result :: joined in
-    match
-      List.find_map (function Error e -> Some e | Ok _ -> None) results
-    with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None ->
+    let failures =
+      List.filter_map (function Error (e, _) -> Some e | Ok _ -> None) results
+    in
+    if failures = [] then
       List.concat_map (function Ok r -> r | Error _ -> assert false) results
+    else if List.for_all Fact_error.is_cancellation failures then
+      (* a stop request, not a broken worker: propagate promptly *)
+      reraise
+        (List.find_map
+           (function Error e -> Some e | Ok _ -> None)
+           results
+        |> Option.get)
+    else begin
+      (* fall back to sequential execution of the failed chunks *)
+      let retried =
+        List.map2
+          (fun result runner ->
+            match result with Ok v -> Ok v | Error _ -> guard runner)
+          results (head :: rest)
+      in
+      let still =
+        List.filter_map
+          (function Error e -> Some e | Ok _ -> None)
+          retried
+      in
+      match still with
+      | [] -> List.concat_map (function Ok r -> r | Error _ -> assert false) retried
+      | ((e, _) as first) :: _ ->
+        if Fact_error.is_cancellation e then reraise first
+        else
+          Fact_error.raise_error
+            (Worker_failure
+               {
+                 fn;
+                 failed = List.length still;
+                 chunks = List.length results;
+                 first = Printexc.to_string e;
+               })
+    end
 
 let map ?domains f xs =
   let domains =
@@ -82,7 +126,9 @@ let map ?domains f xs =
   else
     match chunks domains xs with
     | ([] | [ _ ]) -> List.map f xs
-    | cs -> fan_out (List.map (fun chunk () -> List.map f chunk) cs)
+    | cs ->
+      fan_out ~fn:"Parallel.map"
+        (List.map (fun chunk () -> List.map f chunk) cs)
 
 let concat_map ?domains f xs = List.concat (map ?domains f xs)
 
@@ -99,7 +145,7 @@ let map_init ?domains init f xs =
       let ctx = init () in
       List.map (f ctx) xs
     | cs ->
-      fan_out
+      fan_out ~fn:"Parallel.map_init"
         (List.map
            (fun chunk () ->
              let ctx = init () in

@@ -10,6 +10,17 @@
     [FACT_DOMAINS] environment variable (read once at startup) or
     {!set_default_domains} (e.g. the bench [--domains] flag).
 
+    {b Fault tolerance} (parallel path only): every spawned domain is
+    joined before any exception escapes — a raising [f] never leaks a
+    domain. Chunks whose worker raised are retried once, sequentially,
+    on the calling domain; if the retry fails too, the call raises a
+    single aggregated [Fact_error.Worker_failure] naming the failed
+    chunk count and the first failure. Cancellation
+    ([Fact_error.Cancelled]/[Deadline_exceeded]) is never retried or
+    wrapped: it is re-raised as-is, so deadlines stay prompt. On the
+    sequential path ([domains <= 1]) exceptions from [f] propagate
+    untouched, exactly as [List.map].
+
     Worker discipline: workers may build vertices and simplices (the
     intern tables are mutex-protected and the values immutable), but
     must not force mutable caches — e.g. [Complex.all_simplices] — on

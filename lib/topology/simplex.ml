@@ -339,11 +339,13 @@ end
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
 
+let hash t = t.shash land max_int
+
 module Tbl = Hashtbl.Make (struct
   type nonrec t = t
 
   let equal = equal
-  let hash t = t.shash land max_int
+  let hash = hash
 end)
 
 (* ------------------------------------------------------------------ *)

@@ -97,6 +97,11 @@ val compare : t -> t -> int
     the original list representation. *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** The structural hash (non-negative), consistent with {!equal} —
+    usable as a [Hashtbl.HashedType] together with it. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Set : Set.S with type elt = t

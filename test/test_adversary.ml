@@ -77,9 +77,15 @@ let test_hitting () =
     (Hitting.is_hitting_set h [ ps [ 0; 1 ]; ps [ 1; 2 ] ])
 
 let test_hitting_error () =
-  Alcotest.check_raises "empty member"
-    (Invalid_argument "Hitting: empty member has no hitting set") (fun () ->
-      ignore (Hitting.csize [ Pset.empty ]))
+  match Hitting.csize [ Pset.empty ] with
+  | _ -> Alcotest.fail "empty member: expected a Precondition Fact_error"
+  | exception
+      Fact_resilience.Fact_error.Error
+        (Fact_resilience.Fact_error.Precondition { fn; _ }) ->
+    Alcotest.(check string) "empty member" "Hitting.minimum_hitting_set" fn
+  | exception e ->
+    Alcotest.failf "empty member: unexpected exception %s"
+      (Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* setcon                                                             *)

@@ -281,12 +281,20 @@ let test_affine_task_api () =
   check_bool "monotone" true
     (Complex.subcomplex d (Affine_task.delta t (Pset.full 3)))
 
+let check_precondition name ~fn f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a Precondition Fact_error" name
+  | exception
+      Fact_resilience.Fact_error.Error
+        (Fact_resilience.Fact_error.Precondition { fn = got; _ }) ->
+    Alcotest.(check string) name fn got
+  | exception e ->
+    Alcotest.failf "%s: unexpected exception %s" name (Printexc.to_string e)
+
 let test_affine_task_validation () =
-  Alcotest.check_raises "empty rejected"
-    (Invalid_argument "Affine_task.make: empty complex") (fun () ->
+  check_precondition "empty rejected" ~fn:"Affine_task.make" (fun () ->
       ignore (Affine_task.make ~ell:2 (Complex.of_facets ~n:3 [])));
-  Alcotest.check_raises "wrong level rejected"
-    (Invalid_argument "Affine_task.make: facet at wrong subdivision level")
+  check_precondition "wrong level rejected" ~fn:"Affine_task.make"
     (fun () -> ignore (Affine_task.make ~ell:2 chr1_3))
 
 let test_affine_compose () =

@@ -12,6 +12,18 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let ps = Pset.of_list
 
+(* API misuse must surface as the typed error taxonomy, not as an ad
+   hoc message string. *)
+let check_precondition name ~fn f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a Precondition Fact_error" name
+  | exception
+      Fact_resilience.Fact_error.Error
+        (Fact_resilience.Fact_error.Precondition { fn = got; _ }) ->
+    Alcotest.(check string) name fn got
+  | exception e ->
+    Alcotest.failf "%s: unexpected exception %s" name (Printexc.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Exec + Memory                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -100,9 +112,7 @@ let test_schedule_crash_bookkeeping () =
 
 let test_schedule_alpha_model_validation () =
   let alpha = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
-  Alcotest.check_raises "alpha 0 rejected"
-    (Invalid_argument "Schedule.alpha_model: alpha(P) = 0, no such run")
-    (fun () ->
+  check_precondition "alpha 0 rejected" ~fn:"Schedule.alpha_model" (fun () ->
       ignore (Schedule.alpha_model ~seed:1 alpha ~participation:(ps [ 0 ])));
   (* valid participations never crash more than alpha(P)-1 processes *)
   for seed = 1 to 50 do
@@ -112,8 +122,7 @@ let test_schedule_alpha_model_validation () =
 
 let test_schedule_adversarial_validation () =
   let adv = Adversary.t_resilient ~n:3 ~t:1 in
-  Alcotest.check_raises "non-live rejected"
-    (Invalid_argument "Schedule.adversarial: correct set is not a live set")
+  check_precondition "non-live rejected" ~fn:"Schedule.adversarial"
     (fun () -> ignore (Schedule.adversarial ~seed:1 adv ~live:(ps [ 0 ])));
   let s = Schedule.adversarial ~seed:1 adv ~live:(ps [ 0; 1 ]) in
   Alcotest.(check (list int)) "complement crashes" [ 2 ]
