@@ -644,6 +644,7 @@ let bench_json_file = "BENCH_topology.json"
 
 let bench_json () =
   section (Printf.sprintf "JSON bench baseline -> %s" bench_json_file);
+  Cache.reset_counters ();
   (* One warmup run (which also populates the memo tables — the
      steady-state cost is what the pipeline pays in practice), then the
      average of [reps] timed runs. *)
@@ -699,10 +700,40 @@ let bench_json () =
          explore_alg1);
     ]
   in
+  (* The same R_A under a tight cache cap: steady state now pays
+     eviction churn and recomputation — the price of bounded memory. *)
+  let capped_entry =
+    let old_cap = Cache.default_cap () in
+    Cache.set_default_cap 64;
+    Cache.clear_all ();
+    Fun.protect
+      ~finally:(fun () -> Cache.set_default_cap old_cap)
+      (fun () ->
+        entry ~name:"ra_1res_cap64" ~n:3 ~reps:20
+          ~facets:(Complex.facet_count (Ra.complex alpha_1res ~n:3))
+          (fun () -> Ra.complex alpha_1res ~n:3))
+  in
+  let entries = entries @ [ capped_entry ] in
+  let cache_lines =
+    List.map
+      (fun (name, s) ->
+        pf "cache %-24s hits=%d misses=%d evictions=%d size=%d cap=%d@." name
+          s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.size
+          s.Cache.cap;
+        Printf.sprintf
+          "  {\"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"evictions\": \
+           %d, \"size\": %d, \"cap\": %d}"
+          name s.Cache.hits s.Cache.misses s.Cache.evictions s.Cache.size
+          s.Cache.cap)
+      (Cache.all_stats ())
+  in
   let oc = open_out bench_json_file in
-  output_string oc "[\n";
+  output_string oc "{\"entries\": [\n";
   output_string oc (String.concat ",\n" entries);
-  output_string oc "\n]\n";
+  output_string oc "\n], \"caches\": [\n";
+  output_string oc (String.concat ",\n" cache_lines);
+  output_string oc
+    (Printf.sprintf "\n], \"domains\": %d}\n" (Parallel.default_domains ()));
   close_out oc;
   pf "wrote %s (domains=%d)@." bench_json_file (Parallel.default_domains ())
 
