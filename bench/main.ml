@@ -656,12 +656,31 @@ let bench_json () =
     done;
     (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
   in
-  let entry ~name ~n ~reps ~facets f =
-    let wall_ms = time_ms ~reps f in
-    pf "%-18s n=%d %10.3f ms  facets=%d@." name n wall_ms facets;
+  (* Every entry reports the registry-wide cache traffic it caused as a
+     delta over its own runs (warmup included). The counters are reset
+     once above, so the trailing "caches" array stays what it always
+     was — cumulative over the whole --json run — while per-entry
+     numbers no longer smear earlier sections' hits into later ones. *)
+  let cache_totals () =
+    List.fold_left
+      (fun (h, m, e) (_, s) ->
+        (h + s.Cache.hits, m + s.Cache.misses, e + s.Cache.evictions))
+      (0, 0, 0) (Cache.all_stats ())
+  in
+  let entry_line ~name ~n ~wall_ms ~facets ~delta:(dh, dm, de) =
+    pf "%-18s n=%d %10.3f ms  facets=%d  cache hits+%d misses+%d evictions+%d@."
+      name n wall_ms facets dh dm de;
     Printf.sprintf
-      "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d}" name
-      n wall_ms facets
+      "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d, \
+       \"cache_delta\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}}"
+      name n wall_ms facets dh dm de
+  in
+  let entry ~name ~n ~reps ~facets f =
+    let h0, m0, e0 = cache_totals () in
+    let wall_ms = time_ms ~reps f in
+    let h1, m1, e1 = cache_totals () in
+    entry_line ~name ~n ~wall_ms ~facets
+      ~delta:(h1 - h0, m1 - m0, e1 - e0)
   in
   let chr2_of nn = Chr.iterate 2 (Chr.standard nn) in
   let alpha_1res = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
@@ -714,6 +733,62 @@ let bench_json () =
           (fun () -> Ra.complex alpha_1res ~n:3))
   in
   let entries = entries @ [ capped_entry ] in
+  (* fact serve, cold vs warm: a cold one-shot pays the full pipeline
+     on empty memo tables; a warm served request is a result-cache hit
+     plus one socket round trip. *)
+  let serve_entries =
+    let dir =
+      let d = Filename.temp_file "fact-bench-serve" "" in
+      Sys.remove d;
+      Unix.mkdir d 0o700;
+      d
+    in
+    let store = Store.open_dir (Filename.concat dir "store") in
+    let scheduler = Scheduler.create ~store () in
+    let sock = Filename.concat dir "bench.sock" in
+    let listener = Listener.start ~scheduler (Listener.Unix_sock sock) in
+    let cleanup () =
+      Listener.stop listener;
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat (Store.dir store) f)
+          with Sys_error _ -> ())
+        (try Sys.readdir (Store.dir store) with Sys_error _ -> [||]);
+      List.iter
+        (fun p -> try Unix.rmdir p with Unix.Unix_error _ -> ())
+        [ Store.dir store; dir ]
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        let q = Query.Ra { n = 3; adv = Query.Preset "wait-free" } in
+        let cold =
+          let reps = 3 in
+          let h0, m0, e0 = cache_totals () in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            Cache.clear_all ();
+            ignore (Sys.opaque_identity (Query.eval q))
+          done;
+          let wall_ms =
+            (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+          in
+          let h1, m1, e1 = cache_totals () in
+          entry_line ~name:"serve_ra_cold_oneshot" ~n:3 ~wall_ms ~facets:169
+            ~delta:(h1 - h0, m1 - m0, e1 - e0)
+        in
+        Client.with_connection (Listener.Unix_sock sock) (fun c ->
+            ignore (Client.query c q);
+            let h0, m0, e0 = cache_totals () in
+            let wall_ms =
+              time_ms ~reps:50 (fun () -> Client.query c q)
+            in
+            let h1, m1, e1 = cache_totals () in
+            [
+              cold;
+              entry_line ~name:"serve_ra_warm" ~n:3 ~wall_ms ~facets:169
+                ~delta:(h1 - h0, m1 - m0, e1 - e0);
+            ]))
+  in
+  let entries = entries @ serve_entries in
   let cache_lines =
     List.map
       (fun (name, s) ->

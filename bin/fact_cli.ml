@@ -9,6 +9,9 @@
      explore   model-check a protocol over all interleavings (lib/check)
      chaos     inject faults into the resilience layer and audit it
      census    classify every adversary over n processes
+     serve     long-lived query server (dedup, batching, warm store)
+     client    query a running server
+     ra        one-shot evaluation of the ra serve endpoint
 
    Adversaries are given either by a preset name
    (wait-free | t-res:T | k-of:K | fig5b) or as explicit live sets,
@@ -255,7 +258,7 @@ let chr_cmd =
 let load_checkpoint file =
   match Checkpoint.load file with
   | Ok ck -> ck
-  | Error msg -> failwith (file ^ ": " ^ msg)
+  | Error msg -> failwith msg (* already names the file *)
 
 let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
     checkpoint_every resume_file n preset live_sets =
@@ -385,10 +388,18 @@ let explore_cmd =
 
 (* ----------------------------- chaos ------------------------------ *)
 
-let chaos_run seed max_faults =
+let chaos_run seed max_faults serve_faults =
   let stats = Chaos.run ~seed ~max_faults () in
   pf "chaos: %a@." Chaos.pp_stats stats;
-  match stats.Chaos.violations with
+  let serve_violations =
+    if serve_faults < 1 then []
+    else begin
+      let s = Serve_chaos.run ~seed ~max_faults:serve_faults () in
+      pf "%a@." Serve_chaos.pp_stats s;
+      s.Serve_chaos.violations
+    end
+  in
+  match stats.Chaos.violations @ serve_violations with
   | [] -> pf "all invariants held@."
   | vs ->
     List.iter (fun m -> pf "violation: %s@." m) vs;
@@ -400,15 +411,202 @@ let chaos_cmd =
       value & opt int 100
       & info [ "max-faults" ] ~doc:"Number of faults to inject.")
   in
+  let serve_faults_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "serve-faults" ] ~docv:"N"
+          ~doc:
+            "Also boot a throwaway query server and inject N listener-side \
+             faults (client disconnects, corrupted store entries, forced \
+             evictions mid-batch, protocol garbage).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Inject worker crashes, cancellations and cache evictions into \
           the R_A pipeline and audit the resilience invariants.")
     Term.(
-      const (fun timeout seed max_faults ->
-          guarded timeout (fun () -> chaos_run seed max_faults))
-      $ timeout_arg $ seed_arg $ max_faults_arg)
+      const (fun timeout seed max_faults serve_faults ->
+          guarded timeout (fun () -> chaos_run seed max_faults serve_faults))
+      $ timeout_arg $ seed_arg $ max_faults_arg $ serve_faults_arg)
+
+(* ------------------------- serve / client ------------------------- *)
+
+(* The serve endpoints resolve their adversary from the same flags as
+   the one-shot commands; with neither flag they default to wait-free,
+   so [fact ra --n 3] and [fact client ra --n 3] name the same query. *)
+let spec_of ~preset ~live_sets : Query.adversary_spec =
+  match (preset, live_sets) with
+  | Some p, [] -> Query.Preset p
+  | None, [] -> Query.Preset "wait-free"
+  | None, (_ :: _ as ls) -> Query.Live (List.map Pset.to_list ls)
+  | Some _, _ :: _ -> failwith "give either --preset or --live, not both"
+
+let query_of ~endpoint ~n ~m ~preset ~live_sets ~protocol ~max_runs =
+  let adv () = spec_of ~preset ~live_sets in
+  match endpoint with
+  | "ra" -> Query.Ra { n; adv = adv () }
+  | "chr" -> Query.Chr { n; m }
+  | "critical" -> Query.Critical { n; adv = adv () }
+  | "setcon" -> Query.Setcon { n; adv = adv () }
+  | "fairness" -> Query.Fairness { n; adv = adv () }
+  | "explore" -> Query.Explore { protocol; n; max_runs }
+  | e ->
+    failwith
+      (Printf.sprintf
+         "unknown endpoint %S (ra | chr | critical | setcon | fairness | \
+          explore | stats | ping | shutdown)"
+         e)
+
+let addr_of s =
+  match Listener.addr_of_string s with
+  | Ok a -> a
+  | Error msg -> failwith msg
+
+let addr_arg =
+  Arg.(
+    value
+    & opt string "fact.sock"
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: unix:PATH, tcp:HOST:PORT, or a bare PATH (a \
+           Unix-domain socket).")
+
+let m_serve_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "m" ] ~doc:"Subdivision iterations (chr endpoint).")
+
+let protocol_serve_arg =
+  Arg.(
+    value & opt string "is"
+    & info [ "protocol" ] ~docv:"NAME"
+        ~doc:"Protocol for the explore endpoint: is | alg1.")
+
+let max_runs_serve_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-runs" ] ~doc:"Execution budget (explore endpoint).")
+
+let serve addr_s store_dir cache_cap max_frame =
+  let addr = addr_of addr_s in
+  let store = Option.map Store.open_dir store_dir in
+  let scheduler = Scheduler.create ?store ?cache_cap () in
+  let listener = Listener.start ~max_frame ~scheduler addr in
+  (match store with
+  | Some s ->
+    pf "fact: serving on %s (store %s, %d entries warm)@."
+      (Listener.addr_to_string addr) (Store.dir s) (Store.entries s)
+  | None ->
+    pf "fact: serving on %s (no store: results die with the process)@."
+      (Listener.addr_to_string addr));
+  let stop_in_background _ =
+    ignore (Thread.create (fun () -> Listener.stop listener) ())
+  in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_in_background);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_in_background)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Listener.wait listener;
+  Listener.stop listener;
+  pf "fact: server stopped@."
+
+let serve_cmd =
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result store: warm-starts the result cache \
+             on boot, persists every computed result, and survives \
+             restarts.")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-cap" ]
+          ~doc:"Bound on resident results (evictions are persisted).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Wire.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve ra/chr/critical/setcon/fairness/explore queries over a \
+          Unix-domain or TCP socket, with request deduplication, \
+          batching, per-request deadlines and a warm on-disk result \
+          store.")
+    Term.(
+      const (fun addr store cap max_frame ->
+          guarded None (fun () -> serve addr store cap max_frame))
+      $ addr_arg $ store_arg $ cache_cap_arg $ max_frame_arg)
+
+let client timeout addr_s endpoint n m preset live_sets protocol max_runs =
+  let addr = addr_of addr_s in
+  Client.with_connection addr (fun c ->
+      match endpoint with
+      | "stats" -> print_string (Client.stats c)
+      | "ping" ->
+        Client.ping c;
+        pf "pong@."
+      | "shutdown" ->
+        Client.shutdown c;
+        pf "server shutting down@."
+      | _ ->
+        let q =
+          query_of ~endpoint ~n ~m ~preset ~live_sets ~protocol ~max_runs
+        in
+        (* --timeout travels with the request; the server maps what is
+           left of it onto a Cancel token around the pipeline *)
+        let payload, source = Client.query c ?deadline_s:timeout q in
+        Printf.eprintf "fact: source=%s\n%!" (Wire.source_to_string source);
+        print_string payload)
+
+let client_cmd =
+  let endpoint_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ENDPOINT"
+          ~doc:
+            "ra | chr | critical | setcon | fairness | explore | stats | \
+             ping | shutdown")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running fact server. The payload (on stdout) is \
+          bit-identical to the matching one-shot command; the answer's \
+          source (computed | memory | disk) goes to stderr. A --timeout \
+          is enforced server-side as a per-request deadline.")
+    Term.(
+      const (fun timeout addr endpoint n m preset live protocol max_runs ->
+          guarded None (fun () ->
+              client timeout addr endpoint n m preset live protocol max_runs))
+      $ timeout_arg $ addr_arg $ endpoint_arg $ n_arg $ m_serve_arg
+      $ preset_arg $ live_arg $ protocol_serve_arg $ max_runs_serve_arg)
+
+let ra_cmd =
+  Cmd.v
+    (Cmd.info "ra"
+       ~doc:
+         "One-shot evaluation of the ra serve endpoint: R_A statistics \
+          for an adversary (defaults to wait-free), bit-identical to the \
+          payload a fact server returns for the same query.")
+    Term.(
+      const (fun timeout n preset live ->
+          guarded timeout (fun () ->
+              print_string
+                (Query.eval
+                   (Query.Ra { n; adv = spec_of ~preset ~live_sets:live }))))
+      $ timeout_arg $ n_arg $ preset_arg $ live_arg)
 
 (* ----------------------------- census ----------------------------- *)
 
@@ -451,4 +649,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
-            explore_cmd; chaos_cmd; census_cmd ]))
+            explore_cmd; chaos_cmd; census_cmd; serve_cmd; client_cmd;
+            ra_cmd ]))

@@ -1,4 +1,5 @@
 open Fact_topology
+open Fact_sexp
 
 type t = {
   protocol : string;
@@ -8,88 +9,80 @@ type t = {
   parts : Opart.t list;
 }
 
-let ints_s is = "(" ^ String.concat " " (List.map string_of_int is) ^ ")"
+let ints_sx is = Sexp.List (List.map Sexp.int is)
 
-let decision_s = function
-  | Trace.Step p -> "s" ^ string_of_int p
-  | Trace.Crash p -> "c" ^ string_of_int p
+let frontier_entry_sx (d, done_) =
+  Sexp.List
+    [ Trace.sexp_of_decision d; Sexp.List (List.map Trace.sexp_of_decision done_) ]
 
-let frontier_entry_s (d, done_) =
-  Printf.sprintf "(%s (%s))" (decision_s d)
-    (String.concat " " (List.map decision_s done_))
+let part_sx part =
+  Sexp.List (List.map (fun b -> ints_sx (Pset.to_list b)) (Opart.blocks part))
 
-let part_s part =
-  "("
-  ^ String.concat " "
-      (List.map (fun b -> ints_s (Pset.to_list b)) (Opart.blocks part))
-  ^ ")"
+let to_sexp t =
+  Sexp.List
+    [
+      Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom t.protocol ];
+      Sexp.List [ Sexp.Atom "n"; Sexp.int t.n ];
+      Sexp.List [ Sexp.Atom "participants"; ints_sx (Pset.to_list t.participants) ];
+      Sexp.List [ Sexp.Atom "runs"; Sexp.int t.state.Explore.ck_runs ];
+      Sexp.List [ Sexp.Atom "truncated"; Sexp.int t.state.Explore.ck_truncated ];
+      Sexp.List [ Sexp.Atom "pruned"; Sexp.int t.state.Explore.ck_pruned ];
+      Sexp.List [ Sexp.Atom "patterns"; ints_sx t.state.Explore.ck_patterns ];
+      Sexp.List
+        [
+          Sexp.Atom "frontier";
+          Sexp.List (List.map frontier_entry_sx t.state.Explore.frontier);
+        ];
+      Sexp.List [ Sexp.Atom "parts"; Sexp.List (List.map part_sx t.parts) ];
+    ]
 
-let to_string t =
-  Printf.sprintf
-    "((protocol %s) (n %d) (participants %s) (runs %d) (truncated %d) \
-     (pruned %d) (patterns %s) (frontier (%s)) (parts (%s)))"
-    t.protocol t.n
-    (ints_s (Pset.to_list t.participants))
-    t.state.Explore.ck_runs t.state.Explore.ck_truncated
-    t.state.Explore.ck_pruned
-    (ints_s t.state.Explore.ck_patterns)
-    (String.concat " " (List.map frontier_entry_s t.state.Explore.frontier))
-    (String.concat " " (List.map part_s t.parts))
+let to_string t = Sexp.to_string (to_sexp t)
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
 
-let rec map_result f = function
-  | [] -> Ok []
-  | x :: tl ->
-    let* y = f x in
-    let* ys = map_result f tl in
-    Ok (y :: ys)
-
-let of_string s =
-  let open Trace in
-  let* sx = parse_sexp_string s in
+let of_sexp sx =
   match sx with
-  | List
+  | Sexp.List
       [
-        List [ Atom "protocol"; Atom protocol ];
-        List [ Atom "n"; n_sx ];
-        List [ Atom "participants"; List parts_sx ];
-        List [ Atom "runs"; runs_sx ];
-        List [ Atom "truncated"; tr_sx ];
-        List [ Atom "pruned"; pr_sx ];
-        List [ Atom "patterns"; List pat_sx ];
-        List [ Atom "frontier"; List fr_sx ];
-        List [ Atom "parts"; List opart_sx ];
+        Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom protocol ];
+        Sexp.List [ Sexp.Atom "n"; n_sx ];
+        Sexp.List [ Sexp.Atom "participants"; Sexp.List parts_sx ];
+        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
+        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
+        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
+        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
+        Sexp.List [ Sexp.Atom "frontier"; Sexp.List fr_sx ];
+        Sexp.List [ Sexp.Atom "parts"; Sexp.List opart_sx ];
       ] ->
-    let* n = int_of_sexp n_sx in
-    let* participants = map_result int_of_sexp parts_sx in
-    let* ck_runs = int_of_sexp runs_sx in
-    let* ck_truncated = int_of_sexp tr_sx in
-    let* ck_pruned = int_of_sexp pr_sx in
-    let* ck_patterns = map_result int_of_sexp pat_sx in
+    let* n = Sexp.to_int n_sx in
+    let* participants = Sexp.map_result Sexp.to_int parts_sx in
+    let* ck_runs = Sexp.to_int runs_sx in
+    let* ck_truncated = Sexp.to_int tr_sx in
+    let* ck_pruned = Sexp.to_int pr_sx in
+    let* ck_patterns = Sexp.map_result Sexp.to_int pat_sx in
     let entry = function
-      | List [ d_sx; List done_sx ] ->
-        let* d = decision_of_sexp d_sx in
-        let* dn = map_result decision_of_sexp done_sx in
+      | Sexp.List [ d_sx; Sexp.List done_sx ] ->
+        let* d = Trace.decision_of_sexp d_sx in
+        let* dn = Sexp.map_result Trace.decision_of_sexp done_sx in
         Ok (d, dn)
       | _ -> Error "bad frontier entry: expected (decision (decisions))"
     in
-    let* frontier = map_result entry fr_sx in
+    let* frontier = Sexp.map_result entry fr_sx in
     let block = function
-      | List b ->
-        let* is = map_result int_of_sexp b in
+      | Sexp.List b ->
+        let* is = Sexp.map_result Sexp.to_int b in
         Ok (Pset.of_list is)
-      | Atom _ -> Error "bad block: expected a list of process ids"
+      | Sexp.Atom _ -> Error "bad block: expected a list of process ids"
     in
     let opart = function
-      | List bs -> (
-        let* blocks = map_result block bs in
+      | Sexp.List bs -> (
+        let* blocks = Sexp.map_result block bs in
         match Opart.make blocks with
         | p -> Ok p
         | exception Invalid_argument m -> Error m)
-      | Atom _ -> Error "bad partition: expected a list of blocks"
+      | Sexp.Atom _ -> Error "bad partition: expected a list of blocks"
     in
-    let* parts = map_result opart opart_sx in
+    let* parts = Sexp.map_result opart opart_sx in
     Ok
       {
         protocol;
@@ -101,6 +94,10 @@ let of_string s =
       }
   | _ -> Error "malformed checkpoint file"
 
+let of_string s =
+  let* sx = Sexp.of_string s in
+  of_sexp sx
+
 let save file t =
   let oc = open_out file in
   Fun.protect
@@ -110,12 +107,16 @@ let save file t =
       output_char oc '\n')
 
 let load file =
+  let tagged = function
+    | Ok _ as ok -> ok
+    | Error msg -> Error (file ^ ": " ^ msg)
+  in
   match
     let ic = open_in file in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | s -> of_string (String.trim s)
+  | s -> tagged (of_string (String.trim s))
   | exception Sys_error msg -> Error msg
   | exception End_of_file -> Error (file ^ ": truncated read")

@@ -33,4 +33,5 @@ val save : string -> t -> unit
 
 val load : string -> (t, string) result
 (** [load file] reads and parses [file]; [Error msg] on I/O or parse
-    failure. *)
+    failure. The message always names the offending file, so callers
+    can surface it verbatim. *)

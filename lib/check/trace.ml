@@ -57,95 +57,37 @@ let equal a b =
   && a.decisions = b.decisions
 
 (* ------------------------------------------------------------------ *)
-(* Parsing: a minimal s-expression reader for the fixed shape above.  *)
+(* Parsing: the shared s-expression reader (Fact_sexp.Sexp) applied   *)
+(* to the fixed shape above.                                          *)
 
-type sexp = Atom of string | List of sexp list
+open Fact_sexp
 
-let tokenize s =
-  let toks = ref [] in
-  let buf = Buffer.create 8 in
-  let flush () =
-    if Buffer.length buf > 0 then begin
-      toks := `Atom (Buffer.contents buf) :: !toks;
-      Buffer.clear buf
-    end
-  in
-  String.iter
-    (fun c ->
-      match c with
-      | '(' -> flush (); toks := `LP :: !toks
-      | ')' -> flush (); toks := `RP :: !toks
-      | ' ' | '\t' | '\n' | '\r' -> flush ()
-      | c -> Buffer.add_char buf c)
-    s;
-  flush ();
-  List.rev !toks
-
-let parse_sexp toks =
-  let rec go toks =
-    match toks with
-    | `Atom a :: rest -> Ok (Atom a, rest)
-    | `LP :: rest ->
-      let rec items acc toks =
-        match toks with
-        | `RP :: rest -> Ok (List (List.rev acc), rest)
-        | [] -> Error "unclosed ("
-        | _ ->
-          (match go toks with
-          | Ok (x, rest) -> items (x :: acc) rest
-          | Error _ as e -> e)
-      in
-      items [] rest
-    | `RP :: _ -> Error "unexpected )"
-    | [] -> Error "empty input"
-  in
-  match go toks with
-  | Ok (x, []) -> Ok x
-  | Ok (_, _ :: _) -> Error "trailing tokens"
-  | Error _ as e -> e
-
-let int_atom = function
-  | Atom a -> (
-    match int_of_string_opt a with
-    | Some i -> Ok i
-    | None -> Error (Printf.sprintf "not an integer: %S" a))
-  | List _ -> Error "expected an integer atom"
-
-let decision_atom = function
-  | Atom a when String.length a >= 2 -> (
+let decision_of_sexp = function
+  | Sexp.Atom a when String.length a >= 2 -> (
     let p = int_of_string_opt (String.sub a 1 (String.length a - 1)) in
     match (a.[0], p) with
     | 's', Some p -> Ok (Step p)
     | 'c', Some p -> Ok (Crash p)
     | _ -> Error (Printf.sprintf "bad decision %S" a))
-  | Atom a -> Error (Printf.sprintf "bad decision %S" a)
-  | List _ -> Error "expected a decision atom"
+  | Sexp.Atom a -> Error (Printf.sprintf "bad decision %S" a)
+  | Sexp.List _ -> Error "expected a decision atom"
 
-let rec map_result f = function
-  | [] -> Ok []
-  | x :: rest -> (
-    match f x with
-    | Ok y -> (
-      match map_result f rest with Ok ys -> Ok (y :: ys) | Error _ as e -> e)
-    | Error _ as e -> e)
-
-let parse_sexp_string s = parse_sexp (tokenize s)
-let int_of_sexp = int_atom
-let decision_of_sexp = decision_atom
+let sexp_of_decision d = Sexp.Atom (Format.asprintf "%a" pp_decision d)
 
 let of_string s =
-  match parse_sexp (tokenize s) with
+  match Sexp.of_string s with
   | Error _ as e -> e
-  | Ok (List
-      [
-        List [ Atom "n"; n_sexp ];
-        List [ Atom "participants"; List parts ];
-        List [ Atom "decisions"; List decs ];
-      ]) -> (
+  | Ok
+      (Sexp.List
+        [
+          Sexp.List [ Sexp.Atom "n"; n_sexp ];
+          Sexp.List [ Sexp.Atom "participants"; Sexp.List parts ];
+          Sexp.List [ Sexp.Atom "decisions"; Sexp.List decs ];
+        ]) -> (
     match
-      ( int_atom n_sexp,
-        map_result int_atom parts,
-        map_result decision_atom decs )
+      ( Sexp.to_int n_sexp,
+        Sexp.map_result Sexp.to_int parts,
+        Sexp.map_result decision_of_sexp decs )
     with
     | Ok n, Ok parts, Ok decs -> (
       match make ~n ~participants:(Pset.of_list parts) decs with

@@ -43,14 +43,14 @@ val pp_decision : Format.formatter -> decision -> unit
 
 (** {2 S-expression plumbing}
 
-    The minimal reader behind {!of_string}, exposed so other persisted
-    artifacts (exploration checkpoints, {!Checkpoint}) share one
-    format and parser. *)
+    The grammar and reader live in the shared {!Fact_sexp.Sexp}
+    module; only the decision-atom conversions are trace-specific.
+    Other persisted artifacts (exploration checkpoints,
+    {!Checkpoint}; the [fact serve] wire protocol) build on the same
+    module. *)
 
-type sexp = Atom of string | List of sexp list
-
-val parse_sexp_string : string -> (sexp, string) result
-val int_of_sexp : sexp -> (int, string) result
-val decision_of_sexp : sexp -> (decision, string) result
+val decision_of_sexp : Fact_sexp.Sexp.t -> (decision, string) result
 (** Decision atoms are [s<p>] / [c<p>], as printed by
     {!pp_decision}. *)
+
+val sexp_of_decision : decision -> Fact_sexp.Sexp.t

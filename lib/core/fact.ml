@@ -53,6 +53,15 @@ module Prop = Fact_check.Prop
 module Harness = Fact_check.Harness
 module Checkpoint = Fact_check.Checkpoint
 module Chaos = Fact_check.Chaos
+module Sexp = Fact_sexp.Sexp
+module Query = Fact_serve.Query
+module Wire = Fact_serve.Wire
+module Store = Fact_serve.Store
+module Scheduler = Fact_serve.Scheduler
+module Listener = Fact_serve.Listener
+module Client = Fact_serve.Client
+module Serve_chaos = Fact_serve.Serve_chaos
+module Serve_digest = Fact_serve.Digest
 
 type classification = {
   superset_closed : bool;

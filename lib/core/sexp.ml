@@ -1,0 +1,162 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+let list xs = List xs
+
+let must_quote s =
+  s = ""
+  || String.exists
+       (function
+         | '(' | ')' | '"' | '\\' | ' ' | '\t' | '\n' | '\r' -> true
+         | _ -> false)
+       s
+
+let rec add_to_buffer buf = function
+  | Atom s ->
+    if must_quote s then begin
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | '\r' -> Buffer.add_string buf "\\r"
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+    end
+    else Buffer.add_string buf s
+  | List xs ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        add_to_buffer buf x)
+      xs;
+    Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  add_to_buffer buf t;
+  Buffer.contents buf
+
+exception Parse of string * int
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let quoted () =
+    (* cursor on the opening quote *)
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape";
+          (match s.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '(' | ')' | '"' | ' ' | '\t' | '\n' | '\r' -> false
+      | _ -> true
+    do
+      incr pos
+    done;
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "empty input"
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | None -> fail "unclosed ("
+        | Some ')' -> incr pos
+        | Some _ ->
+          items := value () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some ')' -> fail "unexpected )"
+    | Some '"' -> quoted ()
+    | Some _ -> bare ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse (msg, at) ->
+    Error (Printf.sprintf "%s at offset %d" msg at)
+
+let to_atom = function
+  | Atom a -> Ok a
+  | List _ -> Error "expected an atom"
+
+let to_int = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "not an integer: %S" a))
+  | List _ -> Error "expected an integer atom"
+
+let assoc key = function
+  | List items -> (
+    let hit = function
+      | List (Atom k :: _) -> k = key
+      | _ -> false
+    in
+    match List.find_opt hit items with
+    | Some (List [ _; v ]) -> Ok v
+    | Some _ -> Error (Printf.sprintf "field %s is not a (key value) pair" key)
+    | None -> Error (Printf.sprintf "missing field %s" key))
+  | Atom _ -> Error (Printf.sprintf "expected a record with field %s" key)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: tl -> (
+    match f x with
+    | Ok y -> (
+      match map_result f tl with Ok ys -> Ok (y :: ys) | Error _ as e -> e)
+    | Error _ as e -> e)

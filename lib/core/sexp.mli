@@ -1,0 +1,42 @@
+(** The one s-expression dialect of the repository.
+
+    Every persisted or transmitted artifact — decision traces
+    ({!Fact_check.Trace}), exploration checkpoints
+    ({!Fact_check.Checkpoint}), the [fact serve] wire protocol and its
+    on-disk result store ({!Fact_serve}) — shares this reader/writer,
+    so there is exactly one grammar to keep compatible.
+
+    The grammar is the classic one: an expression is an atom or a
+    parenthesised list of expressions separated by whitespace. Atoms
+    that contain whitespace, parentheses, quotes or backslashes (or are
+    empty) are written as double-quoted strings with backslash escapes
+    for quote, backslash, newline, tab and carriage return — so
+    arbitrary byte payloads round-trip. Plain atoms
+    (identifiers, integers, [s0]/[c2] decisions) print unquoted,
+    keeping the historical trace/checkpoint formats byte-stable. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val int : int -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Canonical rendering: single spaces, atoms quoted only when
+    necessary. [of_string (to_string x) = Ok x] for every [x]. *)
+
+val add_to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parses exactly one expression (leading/trailing whitespace
+    allowed); [Error msg] names the offset of the first problem. *)
+
+val to_atom : t -> (string, string) result
+val to_int : t -> (int, string) result
+
+val assoc : string -> t -> (t, string) result
+(** [assoc key (List [... (List [Atom key; v]) ...])] finds the value
+    of the first [(key v)] pair — tolerant record-field access. *)
+
+val map_result : ('a -> ('b, string) result) -> 'a list -> ('b list, string) result
+(** All-or-first-error traversal, shared by every [of_sexp] below. *)

@@ -68,6 +68,7 @@ module Make (K : Hashtbl.HashedType) = struct
     name : string;
     cap : int option; (* None: follow the process default *)
     equal : 'a -> 'a -> bool;
+    on_evict : (K.t -> 'a -> unit) option;
     lock : Mutex.t;
     tbl : 'a entry H.t;
     shadow : 'a H.t; (* evicted entries awaiting the recompute check *)
@@ -82,7 +83,9 @@ module Make (K : Hashtbl.HashedType) = struct
 
   (* Called with [t.lock] held. Evict the least-recently-used entries
      down to [target], parking them in the shadow table when checking
-     is on. *)
+     is on. Returns the victims so the caller can run the [on_evict]
+     hook {e outside} the lock (the hook may do I/O or re-enter the
+     cache). *)
   let evict_to t target =
     let entries = ref [] in
     H.iter (fun k e -> entries := (k, e) :: !entries) t.tbl;
@@ -99,14 +102,21 @@ module Make (K : Hashtbl.HashedType) = struct
           if H.length t.shadow >= shadow_cap then H.reset t.shadow;
           H.replace t.shadow k e.value
         end)
-      victims
+      victims;
+    victims
 
-  let create ~name ?cap ~equal () =
+  let notify_evicted t victims =
+    match t.on_evict with
+    | None -> ()
+    | Some hook -> List.iter (fun (k, e) -> hook k e.value) victims
+
+  let create ~name ?cap ?on_evict ~equal () =
     let t =
       {
         name;
         cap;
         equal;
+        on_evict;
         lock = Mutex.create ();
         tbl = H.create 256;
         shadow = H.create 16;
@@ -138,7 +148,8 @@ module Make (K : Hashtbl.HashedType) = struct
             locked (fun () ->
                 H.reset t.tbl;
                 H.reset t.shadow));
-        do_force_evict = (fun () -> locked (fun () -> evict_to t 0));
+        do_force_evict =
+          (fun () -> notify_evicted t (locked (fun () -> evict_to t 0)));
         do_reset =
           (fun () ->
             locked (fun () ->
@@ -168,15 +179,19 @@ module Make (K : Hashtbl.HashedType) = struct
       let stale =
         if Atomic.get checking then H.find_opt t.shadow key else None
       in
-      (match H.find_opt t.tbl key with
-      | Some _ -> () (* racing insert won; both values are equal *)
-      | None ->
-        H.replace t.tbl key { value = v; used = tick };
-        H.remove t.shadow key;
-        let cap = effective_cap t in
-        if cap > 0 && H.length t.tbl > cap then
-          evict_to t (max 1 (cap * 3 / 4)));
+      let victims =
+        match H.find_opt t.tbl key with
+        | Some _ -> [] (* racing insert won; both values are equal *)
+        | None ->
+          H.replace t.tbl key { value = v; used = tick };
+          H.remove t.shadow key;
+          let cap = effective_cap t in
+          if cap > 0 && H.length t.tbl > cap then
+            evict_to t (max 1 (cap * 3 / 4))
+          else []
+      in
       Mutex.unlock t.lock;
+      notify_evicted t victims;
       (match stale with
       | Some old when not (t.equal old v) ->
         Fact_error.precondition
@@ -184,6 +199,41 @@ module Make (K : Hashtbl.HashedType) = struct
           "evicted entry recomputed to a different value"
       | Some _ | None -> ());
       v
+
+  (* Import path: insert a value obtained elsewhere (e.g. a persisted
+     store) without touching the hit/miss counters. An existing entry
+     wins — the resident value is at least as fresh. *)
+  let add t key v =
+    Mutex.lock t.lock;
+    t.tick <- t.tick + 1;
+    let victims =
+      match H.find_opt t.tbl key with
+      | Some _ -> []
+      | None ->
+        H.replace t.tbl key { value = v; used = t.tick };
+        let cap = effective_cap t in
+        if cap > 0 && H.length t.tbl > cap then
+          evict_to t (max 1 (cap * 3 / 4))
+        else []
+    in
+    Mutex.unlock t.lock;
+    notify_evicted t victims
+
+  let find_opt t key =
+    Mutex.lock t.lock;
+    t.tick <- t.tick + 1;
+    let r =
+      match H.find_opt t.tbl key with
+      | Some e ->
+        e.used <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+    in
+    Mutex.unlock t.lock;
+    r
 
   let stats t =
     Mutex.lock t.lock;
@@ -207,6 +257,7 @@ module Make (K : Hashtbl.HashedType) = struct
 
   let force_evict t =
     Mutex.lock t.lock;
-    evict_to t 0;
-    Mutex.unlock t.lock
+    let victims = evict_to t 0 in
+    Mutex.unlock t.lock;
+    notify_evicted t victims
 end

@@ -49,12 +49,21 @@ val set_check : bool -> unit
 module Make (K : Hashtbl.HashedType) : sig
   type 'a t
 
-  val create : name:string -> ?cap:int -> equal:('a -> 'a -> bool) -> unit -> 'a t
+  val create :
+    name:string ->
+    ?cap:int ->
+    ?on_evict:(K.t -> 'a -> unit) ->
+    equal:('a -> 'a -> bool) ->
+    unit ->
+    'a t
   (** Registers the cache under [name] (names should be unique;
       duplicates only blur the aggregated stats). [equal] is used by
       the eviction invariant check — pass semantic equality
       (e.g. [Complex.equal]), not [(=)], for values containing caches
-      or closures. *)
+      or closures. [on_evict] is called once per evicted entry,
+      {e outside} the cache lock (so it may do I/O or re-enter the
+      cache) — the [fact serve] result store uses it to persist
+      evictions to disk. *)
 
   val find_or_add : 'a t -> K.t -> (K.t -> 'a) -> 'a
   (** Memoized call: a hit refreshes the entry's LRU tick; a miss
@@ -62,6 +71,16 @@ module Make (K : Hashtbl.HashedType) : sig
       other caches are fine), then inserts, evicting if over cap. On a
       racing duplicate insert the first value wins. Safe to call from
       {!Fact_topology.Parallel} worker domains. *)
+
+  val add : 'a t -> K.t -> 'a -> unit
+  (** Import path: insert a value computed elsewhere (e.g. read back
+      from a persisted store on boot) without counting a hit or a
+      miss. A resident entry for [key] wins; over-cap inserts evict as
+      usual. *)
+
+  val find_opt : 'a t -> K.t -> 'a option
+  (** Probe without computing: counts a hit (and refreshes the LRU
+      tick) or a miss. *)
 
   val stats : 'a t -> stats
   val clear : 'a t -> unit

@@ -1,0 +1,84 @@
+open Fact_sexp
+module Fact_error = Fact_resilience.Fact_error
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let fail what = Fact_error.precondition ~fn:"Client" what
+
+let connect addr =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ());
+  let domain, sockaddr =
+    match addr with
+    | Listener.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Listener.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ -> fail ("unknown host " ^ host)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail
+       (Printf.sprintf "cannot reach %s: %s"
+          (Listener.addr_to_string addr)
+          (Unix.error_message err)));
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let roundtrip t req =
+  if t.closed then fail "connection already closed";
+  (try Wire.write_frame t.fd (Sexp.to_string (Wire.request_to_sexp req))
+   with Unix.Unix_error (err, _, _) ->
+     fail ("send failed: " ^ Unix.error_message err));
+  match Wire.read_frame ~max_frame:Wire.default_max_frame t.fd with
+  | Error Wire.Eof -> fail "server closed the connection"
+  | Error Wire.Truncated -> fail "truncated reply"
+  | Error (Wire.Oversized n) -> fail (Printf.sprintf "oversized reply (%d bytes)" n)
+  | exception Unix.Unix_error (err, _, _) ->
+    fail ("receive failed: " ^ Unix.error_message err)
+  | Ok raw -> (
+    match
+      let ( let* ) r f = Result.bind r f in
+      let* sx = Sexp.of_string raw in
+      Wire.response_of_sexp sx
+    with
+    | Ok resp -> resp
+    | Error msg -> fail ("bad reply: " ^ msg))
+
+let query t ?deadline_s q =
+  match roundtrip t (Wire.Query { query = q; deadline_s }) with
+  | Wire.Payload { payload; source } -> (payload, source)
+  | Wire.Refused e -> Fact_error.raise_error e
+  | _ -> fail "unexpected reply to query"
+
+let stats t =
+  match roundtrip t Wire.Stats with
+  | Wire.Stats_payload s -> s
+  | Wire.Refused e -> Fact_error.raise_error e
+  | _ -> fail "unexpected reply to stats"
+
+let ping t =
+  match roundtrip t Wire.Ping with
+  | Wire.Pong -> ()
+  | Wire.Refused e -> Fact_error.raise_error e
+  | _ -> fail "unexpected reply to ping"
+
+let shutdown t =
+  match roundtrip t Wire.Shutdown with
+  | Wire.Shutting_down -> ()
+  | Wire.Refused e -> Fact_error.raise_error e
+  | _ -> fail "unexpected reply to shutdown"
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

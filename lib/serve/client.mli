@@ -1,0 +1,30 @@
+(** Blocking client for the {!Wire} protocol.
+
+    One connection, sequential request/response. All entry points
+    raise typed {!Fact_resilience.Fact_error} errors: connection
+    failures as [Precondition], a server [Refused e] response is
+    re-raised as [e] itself — so [fact client] exits with the same
+    code the one-shot command would have. *)
+
+type t
+
+val connect : Listener.addr -> t
+(** Raises a typed [Precondition] error if the server is unreachable. *)
+
+val close : t -> unit
+
+val roundtrip : t -> Wire.request -> Wire.response
+(** One frame out, one frame in. Raises [Precondition] on a dropped or
+    un-parseable reply. Does {e not} unwrap [Refused]. *)
+
+val query :
+  t -> ?deadline_s:float -> Query.t -> string * Wire.source
+(** Payload text plus where the server found it. Raises the server's
+    typed error on [Refused]. *)
+
+val stats : t -> string
+val ping : t -> unit
+val shutdown : t -> unit
+(** Asks the server to stop; returns once it acknowledges. *)
+
+val with_connection : Listener.addr -> (t -> 'a) -> 'a

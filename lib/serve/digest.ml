@@ -1,0 +1,6 @@
+let code_version = "fact-serve-1"
+
+let of_string s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
+
+let of_query q =
+  of_string (code_version ^ "\n" ^ Fact_sexp.Sexp.to_string (Query.to_sexp q))

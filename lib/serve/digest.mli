@@ -1,0 +1,16 @@
+(** Content addresses for query results.
+
+    A result is keyed by the MD5 of the query's canonical s-expression
+    rendering salted with {!code_version} — so the on-disk store and
+    the in-memory result cache agree on keys across processes, and a
+    pipeline change (bumping the version) silently invalidates every
+    persisted result instead of serving stale payloads. *)
+
+val code_version : string
+(** Bump whenever the pipeline's output for any query can change. *)
+
+val of_query : Query.t -> string
+(** Lowercase hex, 32 chars. *)
+
+val of_string : string -> string
+(** The raw hash behind {!of_query}, for store self-checks. *)

@@ -1,0 +1,40 @@
+(** The connection front-end of [fact serve].
+
+    Accepts clients on a Unix-domain or TCP socket and speaks the
+    {!Wire} protocol: each connection is served by its own thread,
+    which reads length-prefixed request frames, dispatches to the
+    shared {!Scheduler}, and writes one response frame per request.
+
+    {b Fault policy.} A well-framed but malformed request (bad sexp,
+    wrong version, unknown endpoint) gets a typed [Refused
+    Precondition] response and the connection stays usable. An
+    oversized frame gets a typed [Refused Resource_limit] response and
+    the connection is then closed — past a bad length prefix the
+    stream can no longer be trusted. A client that disconnects
+    mid-response only kills its own connection thread ([SIGPIPE] is
+    ignored); the listener and every other connection keep serving. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:/path"] or ["tcp:host:port"]; a bare path means a
+    Unix-domain socket. *)
+
+val addr_to_string : addr -> string
+
+type t
+
+val start : ?max_frame:int -> scheduler:Scheduler.t -> addr -> t
+(** Binds, listens, and returns once the socket is accepting. Raises a
+    typed [Precondition] {!Fact_resilience.Fact_error} if the address
+    cannot be bound. *)
+
+val addr : t -> addr
+
+val stop : t -> unit
+(** Stops accepting, closes the listening socket, shuts the scheduler
+    down, and joins the accept thread. Idempotent. *)
+
+val wait : t -> unit
+(** Blocks until the listener stops — either {!stop} from another
+    thread or a client [Shutdown] request. *)

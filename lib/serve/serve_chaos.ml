@@ -1,0 +1,284 @@
+module Fact_error = Fact_resilience.Fact_error
+module Cache = Fact_resilience.Cache
+
+type stats = {
+  injected : int;
+  disconnects : int;
+  corruptions : int;
+  evictions : int;
+  bad_frames : int;
+  typed_errors : int;
+  recovered : int;
+  violations : string list;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>serve chaos: %d faults injected@,\
+     \ disconnects       %d@,\
+     \ store corruptions %d@,\
+     \ forced evictions  %d@,\
+     \ bad frames        %d@,\
+     \ typed refusals    %d@,\
+     \ recovered         %d@,\
+     \ violations        %d@]"
+    s.injected s.disconnects s.corruptions s.evictions s.bad_frames
+    s.typed_errors s.recovered (List.length s.violations);
+  List.iter (fun v -> Format.fprintf ppf "@,  VIOLATION: %s" v) s.violations
+
+type ctx = {
+  rng : Random.State.t;
+  sock_path : string;
+  store : Store.t;
+  listener : Listener.t;
+  reference : string;  (* fault-free payload for [ref_query] *)
+  mutable disconnects : int;
+  mutable corruptions : int;
+  mutable evictions : int;
+  mutable bad_frames : int;
+  mutable typed_errors : int;
+  mutable recovered : int;
+  mutable violations : string list;
+}
+
+let ref_query = Query.Ra { n = 2; adv = Query.Preset "wait-free" }
+
+let violation ctx fmt =
+  Printf.ksprintf (fun m -> ctx.violations <- m :: ctx.violations) fmt
+
+let addr ctx = Listener.Unix_sock ctx.sock_path
+
+(* Checks the server end-to-end after a fault: a fresh client must get
+   the byte-identical fault-free payload. *)
+let check_recovered ctx what =
+  match
+    Client.with_connection (addr ctx) (fun c -> fst (Client.query c ref_query))
+  with
+  | payload ->
+    if String.equal payload ctx.reference then ctx.recovered <- ctx.recovered + 1
+    else violation ctx "%s: payload drifted from reference" what
+  | exception Fact_error.Error e ->
+    violation ctx "%s: recovery query refused: %s" what (Fact_error.to_string e)
+  | exception e ->
+    violation ctx "%s: untyped escape: %s" what (Printexc.to_string e)
+
+let raw_connect ctx =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX ctx.sock_path);
+  fd
+
+(* ----------------------------- faults ------------------------------ *)
+
+let inject_disconnect ctx =
+  ctx.disconnects <- ctx.disconnects + 1;
+  (* send a valid query, hang up without reading the response: the
+     server's write hits a dead peer mid-response *)
+  (match raw_connect ctx with
+  | fd ->
+    let req = Wire.Query { query = ref_query; deadline_s = None } in
+    (try
+       Wire.write_frame fd
+         (Fact_sexp.Sexp.to_string (Wire.request_to_sexp req))
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ());
+  Thread.yield ();
+  check_recovered ctx "disconnect"
+
+let inject_corruption ctx =
+  ctx.corruptions <- ctx.corruptions + 1;
+  let digest = Digest.of_query ref_query in
+  let file = Filename.concat (Store.dir ctx.store) (digest ^ ".fact") in
+  let garbage =
+    if Random.State.bool ctx.rng then "((store-version 1) (truncated"
+    else String.init 64 (fun _ -> Char.chr (Random.State.int ctx.rng 256))
+  in
+  let oc = open_out file in
+  output_string oc garbage;
+  close_out oc;
+  (* the defensive read must drop the entry, not surface garbage *)
+  (match Store.get ctx.store ~digest with
+  | None -> ctx.typed_errors <- ctx.typed_errors + 1
+  | Some payload ->
+    if String.equal payload ctx.reference then ()
+    else violation ctx "corruption: store served garbage"
+  | exception e ->
+    violation ctx "corruption: untyped escape: %s" (Printexc.to_string e));
+  (* and a served query must recompute (or answer from memory) fine *)
+  check_recovered ctx "corruption"
+
+let inject_eviction ctx =
+  ctx.evictions <- ctx.evictions + 1;
+  (* flush every bounded cache while requests are in flight *)
+  let results = Array.make 3 None in
+  let workers =
+    Array.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              Some
+                (try
+                   `Payload
+                     (Client.with_connection (addr ctx) (fun c ->
+                          fst (Client.query c ref_query)))
+                 with
+                | Fact_error.Error e -> `Typed e
+                | e -> `Untyped (Printexc.to_string e)))
+          ())
+  in
+  Cache.force_evict_all ();
+  Array.iter Thread.join workers;
+  Array.iter
+    (function
+      | Some (`Payload p) ->
+        if String.equal p ctx.reference then ctx.recovered <- ctx.recovered + 1
+        else violation ctx "eviction: payload drifted from reference"
+      | Some (`Typed e) ->
+        violation ctx "eviction: query refused: %s" (Fact_error.to_string e)
+      | Some (`Untyped m) -> violation ctx "eviction: untyped escape: %s" m
+      | None -> violation ctx "eviction: worker produced no result")
+    results
+
+let inject_bad_frame ctx =
+  ctx.bad_frames <- ctx.bad_frames + 1;
+  if Random.State.bool ctx.rng then begin
+    (* well-framed garbage: typed refusal, connection stays usable *)
+    match raw_connect ctx with
+    | exception Unix.Unix_error _ -> violation ctx "bad-frame: connect failed"
+    | fd ->
+      let finish () = try Unix.close fd with Unix.Unix_error _ -> () in
+      (match
+         Wire.write_frame fd "((this is (not a request";
+         Wire.read_frame ~max_frame:Wire.default_max_frame fd
+       with
+      | Ok raw -> (
+        match
+          Result.bind (Fact_sexp.Sexp.of_string raw) Wire.response_of_sexp
+        with
+        | Ok (Wire.Refused (Fact_error.Precondition _)) ->
+          ctx.typed_errors <- ctx.typed_errors + 1;
+          (* same connection must still answer *)
+          (try
+             Wire.write_frame fd
+               (Fact_sexp.Sexp.to_string (Wire.request_to_sexp Wire.Ping));
+             match Wire.read_frame ~max_frame:Wire.default_max_frame fd with
+             | Ok _ -> ctx.recovered <- ctx.recovered + 1
+             | Error _ -> violation ctx "bad-frame: connection died after refusal"
+           with Unix.Unix_error _ ->
+             violation ctx "bad-frame: connection died after refusal")
+        | Ok _ -> violation ctx "bad-frame: expected a Precondition refusal"
+        | Error m -> violation ctx "bad-frame: unreadable reply: %s" m)
+      | Error _ -> violation ctx "bad-frame: no reply to malformed request"
+      | exception Unix.Unix_error (e, _, _) ->
+        violation ctx "bad-frame: %s" (Unix.error_message e));
+      finish ()
+  end
+  else begin
+    (* oversized length prefix: typed refusal, then the server closes *)
+    match raw_connect ctx with
+    | exception Unix.Unix_error _ -> violation ctx "oversized: connect failed"
+    | fd ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int (Wire.default_max_frame + 1));
+      (match
+         let rec write_all off len =
+           if len > 0 then begin
+             let n = Unix.write fd hdr off len in
+             write_all (off + n) (len - n)
+           end
+         in
+         write_all 0 4;
+         Wire.read_frame ~max_frame:Wire.default_max_frame fd
+       with
+      | Ok raw -> (
+        match
+          Result.bind (Fact_sexp.Sexp.of_string raw) Wire.response_of_sexp
+        with
+        | Ok (Wire.Refused (Fact_error.Resource_limit _)) ->
+          ctx.typed_errors <- ctx.typed_errors + 1
+        | Ok _ -> violation ctx "oversized: expected a Resource_limit refusal"
+        | Error m -> violation ctx "oversized: unreadable reply: %s" m)
+      | Error _ -> violation ctx "oversized: no reply"
+      | exception Unix.Unix_error (e, _, _) ->
+        violation ctx "oversized: %s" (Unix.error_message e));
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  end;
+  (* whatever happened, the listener itself must still serve *)
+  check_recovered ctx "bad-frame"
+
+(* ------------------------------- run ------------------------------- *)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "fact-serve-chaos-%d-%d" (Unix.getpid ()) i)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      files;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let run ?(seed = 0) ~max_faults () =
+  if max_faults < 1 then
+    Fact_error.precondition ~fn:"Serve_chaos.run" "max_faults must be >= 1";
+  let dir = fresh_dir () in
+  let sock_path = Filename.concat dir "chaos.sock" in
+  let store = Store.open_dir (Filename.concat dir "store") in
+  let scheduler = Scheduler.create ~store () in
+  let listener = Listener.start ~scheduler (Listener.Unix_sock sock_path) in
+  let finally () =
+    (try Listener.stop listener with _ -> ());
+    rm_rf (Filename.concat dir "store");
+    rm_rf dir
+  in
+  Fun.protect ~finally (fun () ->
+      let reference =
+        Client.with_connection (Listener.Unix_sock sock_path) (fun c ->
+            fst (Client.query c ref_query))
+      in
+      let ctx =
+        {
+          rng = Random.State.make [| seed; 0x5e12e |];
+          sock_path;
+          store;
+          listener;
+          reference;
+          disconnects = 0;
+          corruptions = 0;
+          evictions = 0;
+          bad_frames = 0;
+          typed_errors = 0;
+          recovered = 0;
+          violations = [];
+        }
+      in
+      ignore (Listener.addr ctx.listener);
+      for _ = 1 to max_faults do
+        match Random.State.int ctx.rng 4 with
+        | 0 -> inject_disconnect ctx
+        | 1 -> inject_corruption ctx
+        | 2 -> inject_eviction ctx
+        | _ -> inject_bad_frame ctx
+      done;
+      {
+        injected = max_faults;
+        disconnects = ctx.disconnects;
+        corruptions = ctx.corruptions;
+        evictions = ctx.evictions;
+        bad_frames = ctx.bad_frames;
+        typed_errors = ctx.typed_errors;
+        recovered = ctx.recovered;
+        violations = List.rev ctx.violations;
+      })

@@ -1,0 +1,42 @@
+(** Fault-injection harness for the service layer — the listener-side
+    counterpart of {!Fact_check.Chaos}.
+
+    Each run boots a real listener on a throwaway Unix socket backed
+    by a throwaway store, then injects faults a deployed server must
+    absorb, checking after every one that the server still answers
+    correctly:
+
+    - {b client disconnect}: a client sends a request and hangs up
+      before (or while) the response is written. Only that
+      connection's thread may die; the next client must get the full,
+      correct payload.
+    - {b corrupted store entry}: a persisted result file is truncated
+      or scribbled on. The server must drop it (counted as corrupt)
+      and transparently recompute — never serve garbage.
+    - {b eviction during batch}: every bounded cache is force-evicted
+      while requests are in flight; answers must still be
+      byte-identical to the fault-free reference.
+    - {b malformed / oversized frames}: protocol garbage must come
+      back as a typed [Refused] response (or a clean close for
+      oversized frames) without killing the listener.
+
+    Any failure surfacing as something other than a typed
+    {!Fact_resilience.Fact_error} is a violation. *)
+
+type stats = {
+  injected : int;
+  disconnects : int;
+  corruptions : int;
+  evictions : int;
+  bad_frames : int;
+  typed_errors : int;  (** faults answered with a typed refusal *)
+  recovered : int;     (** faults absorbed with a correct answer *)
+  violations : string list;
+}
+
+val run : ?seed:int -> max_faults:int -> unit -> stats
+(** Raises a [Precondition] {!Fact_resilience.Fact_error} if
+    [max_faults < 1]. The temporary socket and store live under
+    [Filename.get_temp_dir_name ()] and are removed on exit. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,228 @@
+open Fact_sexp
+module Fact_error = Fact_resilience.Fact_error
+
+let version = 1
+let default_max_frame = 1 lsl 20
+
+type request =
+  | Query of { query : Query.t; deadline_s : float option }
+  | Stats
+  | Ping
+  | Shutdown
+
+type source = Computed | Memory | Disk
+
+type response =
+  | Payload of { payload : string; source : source }
+  | Stats_payload of string
+  | Pong
+  | Shutting_down
+  | Refused of Fact_error.t
+
+let source_to_string = function
+  | Computed -> "computed"
+  | Memory -> "memory"
+  | Disk -> "disk"
+
+let source_of_string = function
+  | "computed" -> Ok Computed
+  | "memory" -> Ok Memory
+  | "disk" -> Ok Disk
+  | s -> Error (Printf.sprintf "unknown source %S" s)
+
+(* ----------------------------- errors ----------------------------- *)
+
+let error_to_sexp (e : Fact_error.t) =
+  let f k v = Sexp.List [ Sexp.Atom k; v ] in
+  match e with
+  | Fact_error.Precondition { fn; what } ->
+    Sexp.List
+      [ Sexp.Atom "precondition"; f "fn" (Sexp.Atom fn);
+        f "what" (Sexp.Atom what) ]
+  | Fact_error.Deadline_exceeded { where; budget_s } ->
+    Sexp.List
+      [ Sexp.Atom "deadline-exceeded"; f "where" (Sexp.Atom where);
+        f "budget-s" (Sexp.Atom (Printf.sprintf "%.6f" budget_s)) ]
+  | Fact_error.Cancelled { where } ->
+    Sexp.List [ Sexp.Atom "cancelled"; f "where" (Sexp.Atom where) ]
+  | Fact_error.Worker_failure { fn; failed; chunks; first } ->
+    Sexp.List
+      [ Sexp.Atom "worker-failure"; f "fn" (Sexp.Atom fn);
+        f "failed" (Sexp.int failed); f "chunks" (Sexp.int chunks);
+        f "first" (Sexp.Atom first) ]
+  | Fact_error.Resource_limit { what; limit; got } ->
+    Sexp.List
+      [ Sexp.Atom "resource-limit"; f "what" (Sexp.Atom what);
+        f "limit" (Sexp.int limit); f "got" (Sexp.int got) ]
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let atom_field sx k =
+  let* v = Sexp.assoc k sx in
+  Sexp.to_atom v
+
+let int_field sx k =
+  let* v = Sexp.assoc k sx in
+  Sexp.to_int v
+
+let error_of_sexp sx =
+  match sx with
+  | Sexp.List (Sexp.Atom tag :: fields) -> (
+    let sx = Sexp.List fields in
+    match tag with
+    | "precondition" ->
+      let* fn = atom_field sx "fn" in
+      let* what = atom_field sx "what" in
+      Ok (Fact_error.Precondition { fn; what })
+    | "deadline-exceeded" ->
+      let* where = atom_field sx "where" in
+      let* b = atom_field sx "budget-s" in
+      let* budget_s =
+        match float_of_string_opt b with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad budget %S" b)
+      in
+      Ok (Fact_error.Deadline_exceeded { where; budget_s })
+    | "cancelled" ->
+      let* where = atom_field sx "where" in
+      Ok (Fact_error.Cancelled { where })
+    | "worker-failure" ->
+      let* fn = atom_field sx "fn" in
+      let* failed = int_field sx "failed" in
+      let* chunks = int_field sx "chunks" in
+      let* first = atom_field sx "first" in
+      Ok (Fact_error.Worker_failure { fn; failed; chunks; first })
+    | "resource-limit" ->
+      let* what = atom_field sx "what" in
+      let* limit = int_field sx "limit" in
+      let* got = int_field sx "got" in
+      Ok (Fact_error.Resource_limit { what; limit; got })
+    | tag -> Error (Printf.sprintf "unknown error class %S" tag))
+  | _ -> Error "malformed error payload"
+
+(* ---------------------------- requests ---------------------------- *)
+
+let versioned tag fields =
+  Sexp.List
+    (Sexp.List [ Sexp.Atom "version"; Sexp.int version ]
+    :: Sexp.List [ Sexp.Atom "request"; Sexp.Atom tag ]
+    :: fields)
+
+let request_to_sexp = function
+  | Query { query; deadline_s } ->
+    let deadline =
+      match deadline_s with
+      | None -> []
+      | Some d ->
+        [ Sexp.List
+            [ Sexp.Atom "deadline-s"; Sexp.Atom (Printf.sprintf "%.6f" d) ] ]
+    in
+    versioned "query"
+      (Sexp.List [ Sexp.Atom "query"; Query.to_sexp query ] :: deadline)
+  | Stats -> versioned "stats" []
+  | Ping -> versioned "ping" []
+  | Shutdown -> versioned "shutdown" []
+
+let request_of_sexp sx =
+  let* v = int_field sx "version" in
+  if v <> version then
+    Error (Printf.sprintf "protocol version %d, this server speaks %d" v version)
+  else
+    let* tag = atom_field sx "request" in
+    match tag with
+    | "query" ->
+      let* qsx = Sexp.assoc "query" sx in
+      let* query = Query.of_sexp qsx in
+      let* deadline_s =
+        match Sexp.assoc "deadline-s" sx with
+        | Error _ -> Ok None
+        | Ok v -> (
+          let* a = Sexp.to_atom v in
+          match float_of_string_opt a with
+          | Some f -> Ok (Some f)
+          | None -> Error (Printf.sprintf "bad deadline %S" a))
+      in
+      Ok (Query { query; deadline_s })
+    | "stats" -> Ok Stats
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | tag -> Error (Printf.sprintf "unknown request %S" tag)
+
+(* ---------------------------- responses --------------------------- *)
+
+let response_to_sexp = function
+  | Payload { payload; source } ->
+    Sexp.List
+      [
+        Sexp.Atom "payload";
+        Sexp.List [ Sexp.Atom "source"; Sexp.Atom (source_to_string source) ];
+        Sexp.List [ Sexp.Atom "body"; Sexp.Atom payload ];
+      ]
+  | Stats_payload s ->
+    Sexp.List
+      [ Sexp.Atom "stats"; Sexp.List [ Sexp.Atom "body"; Sexp.Atom s ] ]
+  | Pong -> Sexp.List [ Sexp.Atom "pong" ]
+  | Shutting_down -> Sexp.List [ Sexp.Atom "shutting-down" ]
+  | Refused e ->
+    Sexp.List
+      [ Sexp.Atom "refused"; Sexp.List [ Sexp.Atom "error"; error_to_sexp e ] ]
+
+let response_of_sexp sx =
+  match sx with
+  | Sexp.List (Sexp.Atom "payload" :: fields) ->
+    let sx = Sexp.List fields in
+    let* s = atom_field sx "source" in
+    let* source = source_of_string s in
+    let* payload = atom_field sx "body" in
+    Ok (Payload { payload; source })
+  | Sexp.List (Sexp.Atom "stats" :: fields) ->
+    let* body = atom_field (Sexp.List fields) "body" in
+    Ok (Stats_payload body)
+  | Sexp.List [ Sexp.Atom "pong" ] -> Ok Pong
+  | Sexp.List [ Sexp.Atom "shutting-down" ] -> Ok Shutting_down
+  | Sexp.List (Sexp.Atom "refused" :: fields) ->
+    let* esx = Sexp.assoc "error" (Sexp.List fields) in
+    let* e = error_of_sexp esx in
+    Ok (Refused e)
+  | _ -> Error "malformed response"
+
+(* ----------------------------- framing ---------------------------- *)
+
+type read_error = Eof | Oversized of int | Truncated
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)
+
+(* Returns [`Short] if the stream ends before [len] bytes. *)
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then `Ok buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then `Eof else `Short
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_frame ~max_frame fd =
+  match read_exactly fd 4 with
+  | `Eof -> Error Eof
+  | `Short -> Error Truncated
+  | `Ok hdr -> (
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then Error (Oversized len)
+    else
+      match read_exactly fd len with
+      | `Ok buf -> Ok (Bytes.to_string buf)
+      | `Eof | `Short -> Error Truncated)

@@ -1,0 +1,66 @@
+(** The [fact serve] wire protocol.
+
+    {b Framing.} Each message is one length-prefixed s-expression:
+    a 4-byte big-endian payload length followed by that many bytes of
+    {!Fact_sexp.Sexp} text. Frames larger than the receiver's
+    [max_frame] are refused with a typed [Resource_limit] error (and
+    the connection closed, since the stream can no longer be trusted);
+    a frame whose payload is not a well-formed s-expression gets a
+    typed [Precondition] response and the connection stays usable.
+
+    {b Versioning.} Every request carries [(version N)]; a server
+    refuses versions it does not speak with a [Precondition] response,
+    so old clients fail fast instead of misparsing.
+
+    {b Errors.} Failures travel as the typed
+    {!Fact_resilience.Fact_error} taxonomy, serialized structurally —
+    a client can map a [Deadline_exceeded] response to the same exit
+    code 3 the one-shot CLI uses. *)
+
+open Fact_sexp
+
+val version : int
+val default_max_frame : int  (** 1 MiB *)
+
+type request =
+  | Query of { query : Query.t; deadline_s : float option }
+      (** [deadline_s] bounds the whole request, queueing included. *)
+  | Stats
+  | Ping
+  | Shutdown
+
+type source =
+  | Computed  (** the pipeline ran for this request *)
+  | Memory  (** in-memory result-cache hit *)
+  | Disk  (** warm-started from the on-disk store *)
+
+type response =
+  | Payload of { payload : string; source : source }
+  | Stats_payload of string
+  | Pong
+  | Shutting_down
+  | Refused of Fact_resilience.Fact_error.t
+
+val source_to_string : source -> string
+
+val request_to_sexp : request -> Sexp.t
+val request_of_sexp : Sexp.t -> (request, string) result
+val response_to_sexp : response -> Sexp.t
+val response_of_sexp : Sexp.t -> (response, string) result
+
+val error_to_sexp : Fact_resilience.Fact_error.t -> Sexp.t
+val error_of_sexp : Sexp.t -> (Fact_resilience.Fact_error.t, string) result
+
+(** {2 Framed I/O over file descriptors} *)
+
+type read_error =
+  | Eof  (** clean end of stream between frames *)
+  | Oversized of int  (** announced length exceeded [max_frame] *)
+  | Truncated  (** stream ended mid-frame *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Raises [Unix.Unix_error] on a broken pipe — callers treat that as
+    a client disconnect, never as a server failure. *)
+
+val read_frame :
+  max_frame:int -> Unix.file_descr -> (string, read_error) result

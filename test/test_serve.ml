@@ -1,0 +1,446 @@
+(* Tests for the query service: the shared s-expression dialect, the
+   wire protocol, the content-addressed store, the deduplicating
+   scheduler with per-request deadlines, and the listener's fault
+   policy. *)
+
+open Fact_sexp
+open Fact_resilience
+open Fact_serve
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fact-test-serve-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (match Unix.mkdir d 0o700 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rm_rf dir =
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      files);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+let ra2 = Query.Ra { n = 2; adv = Query.Preset "wait-free" }
+
+(* ------------------------------------------------------------------ *)
+(* Sexp                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sexp_roundtrip () =
+  let roundtrip sx =
+    match Sexp.of_string (Sexp.to_string sx) with
+    | Ok got -> Alcotest.(check bool) "roundtrip" true (got = sx)
+    | Error m -> Alcotest.failf "reparse failed: %s" m
+  in
+  roundtrip (Sexp.Atom "plain");
+  roundtrip (Sexp.Atom "");
+  roundtrip (Sexp.Atom "with space");
+  roundtrip (Sexp.Atom "quo\"te and back\\slash");
+  roundtrip (Sexp.Atom "line1\nline2\ttabbed\rcr");
+  roundtrip (Sexp.Atom "(parens)");
+  roundtrip (Sexp.List []);
+  roundtrip
+    (Sexp.List
+       [ Sexp.Atom "k"; Sexp.List [ Sexp.int 42; Sexp.Atom "v v" ];
+         Sexp.Atom "\"" ]);
+  (* plain atoms stay unquoted: the historical trace format is stable *)
+  check_string "unquoted" "(run 3 (s0 c1))"
+    (Sexp.to_string
+       (Sexp.List
+          [ Sexp.Atom "run"; Sexp.int 3;
+            Sexp.List [ Sexp.Atom "s0"; Sexp.Atom "c1" ] ]));
+  (* parse errors carry an offset and never raise *)
+  (match Sexp.of_string "(unclosed" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unclosed list parsed");
+  (match Sexp.of_string "a b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage parsed");
+  match Sexp.of_string "\"unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated string parsed"
+
+let test_checkpoint_error_names_file () =
+  let file =
+    Filename.concat (fresh_dir ()) "broken.ck"
+  in
+  let oc = open_out file in
+  output_string oc "(this is (not a checkpoint))";
+  close_out oc;
+  (match Fact_check.Checkpoint.load file with
+  | Ok _ -> Alcotest.fail "garbage checkpoint loaded"
+  | Error msg ->
+    check_bool "message names the file" true
+      (String.length msg >= String.length file
+      && String.sub msg 0 (String.length file) = file));
+  Sys.remove file;
+  match Fact_check.Checkpoint.load file with
+  | Ok _ -> Alcotest.fail "missing checkpoint loaded"
+  | Error msg ->
+    (* Sys_error from open_in already names the path *)
+    check_bool "missing file named" true
+      (let rec contains i =
+         i + String.length file <= String.length msg
+         && (String.sub msg i (String.length file) = file
+            || contains (i + 1))
+       in
+       contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Query / Digest / Wire                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_query_roundtrip () =
+  let queries =
+    [
+      ra2;
+      Query.Ra { n = 3; adv = Query.Live [ [ 0; 1 ]; [ 2 ] ] };
+      Query.Chr { n = 3; m = 2 };
+      Query.Critical { n = 3; adv = Query.Preset "fig5b" };
+      Query.Setcon { n = 4; adv = Query.Preset "t-res:1" };
+      Query.Fairness { n = 3; adv = Query.Preset "k-of:2" };
+      Query.Explore { protocol = "is"; n = 2; max_runs = 100 };
+    ]
+  in
+  List.iter
+    (fun q ->
+      match Query.of_sexp (Query.to_sexp q) with
+      | Ok got -> check_bool (Query.endpoint q) true (got = q)
+      | Error m -> Alcotest.failf "%s: %s" (Query.endpoint q) m)
+    queries;
+  (* digests are stable, distinct per query, and hex *)
+  let d1 = Digest.of_query ra2 and d2 = Digest.of_query ra2 in
+  check_string "digest deterministic" d1 d2;
+  check "digest hex length" 32 (String.length d1);
+  check_bool "digests distinguish queries" true
+    (d1 <> Digest.of_query (Query.Chr { n = 3; m = 2 }))
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Wire.Query { query = ra2; deadline_s = Some 1.5 };
+      Wire.Query { query = ra2; deadline_s = None };
+      Wire.Stats; Wire.Ping; Wire.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.request_of_sexp (Wire.request_to_sexp r) with
+      | Ok got -> check_bool "request roundtrip" true (got = r)
+      | Error m -> Alcotest.fail m)
+    reqs;
+  let resps =
+    [
+      Wire.Payload { payload = "multi\nline \"payload\""; source = Wire.Disk };
+      Wire.Stats_payload "stats text";
+      Wire.Pong; Wire.Shutting_down;
+      Wire.Refused (Fact_error.Precondition { fn = "f"; what = "w" });
+      Wire.Refused (Fact_error.Deadline_exceeded { where = "x"; budget_s = 0.5 });
+      Wire.Refused (Fact_error.Cancelled { where = "x" });
+      Wire.Refused
+        (Fact_error.Worker_failure { fn = "f"; failed = 1; chunks = 2; first = "e" });
+      Wire.Refused (Fact_error.Resource_limit { what = "w"; limit = 1; got = 2 });
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.response_of_sexp (Wire.response_to_sexp r) with
+      | Ok got -> check_bool "response roundtrip" true (got = r)
+      | Error m -> Alcotest.fail m)
+    resps;
+  (* a request from a future protocol version is refused up front *)
+  let bumped =
+    match Wire.request_to_sexp Wire.Ping with
+    | Sexp.List (Sexp.List [ Sexp.Atom "version"; _ ] :: rest) ->
+      Sexp.List (Sexp.List [ Sexp.Atom "version"; Sexp.int 99 ] :: rest)
+    | sx -> sx
+  in
+  match Wire.request_of_sexp bumped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "version 99 request accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_restart_roundtrip () =
+  let dir = fresh_dir () in
+  let payload = "line one\nline \"two\" (with parens)\n" in
+  let digest = Digest.of_query ra2 in
+  let s1 = Store.open_dir dir in
+  Store.put s1 ~digest ~query:(Query.to_sexp ra2) ~payload;
+  check "one entry" 1 (Store.entries s1);
+  (* a fresh handle — a restarted process — reads the same bytes *)
+  let s2 = Store.open_dir dir in
+  (match Store.get s2 ~digest with
+  | Some got -> check_string "payload survives restart" payload got
+  | None -> Alcotest.fail "entry lost across restart");
+  (* corrupt the file: the read drops it and degrades to a miss *)
+  let file = Filename.concat dir (digest ^ ".fact") in
+  let oc = open_out file in
+  output_string oc "((store-version 1) garbage";
+  close_out oc;
+  (match Store.get s2 ~digest with
+  | None -> ()
+  | Some _ -> Alcotest.fail "corrupt entry served");
+  check "corrupt counted" 1 (Store.stats s2).Store.corrupt;
+  check_bool "corrupt file removed" false (Sys.file_exists file);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Cache import/export hooks                                          *)
+(* ------------------------------------------------------------------ *)
+
+module String_cache = Cache.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_cache_add_find_evict () =
+  let evicted = ref [] in
+  let c =
+    String_cache.create ~name:"test.serve.import" ~cap:2
+      ~on_evict:(fun k v -> evicted := (k, v) :: !evicted)
+      ~equal:Int.equal ()
+  in
+  (* imports count neither hits nor misses *)
+  String_cache.add c "a" 1;
+  String_cache.add c "b" 2;
+  let s = String_cache.stats c in
+  check "no hits after import" 0 s.Cache.hits;
+  check "no misses after import" 0 s.Cache.misses;
+  (* probes count; the import is resident *)
+  (match String_cache.find_opt c "a" with
+  | Some v -> check "imported value" 1 v
+  | None -> Alcotest.fail "import not resident");
+  check "probe hit counted" 1 (String_cache.stats c).Cache.hits;
+  check_bool "probe miss" true (String_cache.find_opt c "zz" = None);
+  check "probe miss counted" 1 (String_cache.stats c).Cache.misses;
+  (* growing past cap evicts (with hysteresis, down to 3/4 cap)
+     through the hook *)
+  String_cache.add c "c" 3;
+  check_bool "bounded" true ((String_cache.stats c).Cache.size <= 2);
+  check_bool "eviction hook fired" true (!evicted <> []);
+  (* re-importing a resident key keeps the resident value *)
+  String_cache.add c "c" 99;
+  match String_cache.find_opt c "c" with
+  | Some v -> check "resident entry wins" 3 v
+  | None -> Alcotest.fail "resident entry evicted by re-import"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let payload_of = function
+  | Ok (o : Scheduler.outcome) -> o.Scheduler.payload
+  | Error e -> Alcotest.failf "unexpected refusal: %s" (Fact_error.to_string e)
+
+let test_scheduler_dedup () =
+  let sched = Scheduler.create () in
+  (* occupy the executor with a slow job, then race two identical
+     queries: the second must join the first's in-flight job *)
+  let slow = Query.Explore { protocol = "alg1"; n = 2; max_runs = 20_000 } in
+  let slow_t =
+    Thread.create (fun () -> ignore (Scheduler.submit sched slow)) ()
+  in
+  Thread.delay 0.05;
+  let results = Array.make 2 None in
+  let racers =
+    Array.init 2 (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- Some (Scheduler.submit sched ra2))
+          ())
+  in
+  Array.iter Thread.join racers;
+  Thread.join slow_t;
+  let p0 = payload_of (Option.get results.(0)) in
+  let p1 = payload_of (Option.get results.(1)) in
+  check_string "deduplicated answers identical" p0 p1;
+  check_string "answers match a direct eval" (Query.eval ra2) p0;
+  check_bool "a join was recorded" true (Scheduler.dedup sched >= 1);
+  (* a repeat is now a cache hit *)
+  (match Scheduler.submit sched ra2 with
+  | Ok { Scheduler.source = Wire.Memory; payload } ->
+    check_string "memory hit identical" p0 payload
+  | Ok { Scheduler.source = s; _ } ->
+    Alcotest.failf "expected memory hit, got %s" (Wire.source_to_string s)
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  Scheduler.shutdown sched;
+  (* after shutdown, submissions fail with a typed Cancelled *)
+  match Scheduler.submit sched ra2 with
+  | Error (Fact_error.Cancelled _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Fact_error.to_string e)
+  | Ok _ -> Alcotest.fail "submit succeeded after shutdown"
+
+let test_scheduler_deadline () =
+  let sched = Scheduler.create () in
+  (* an impossible budget: either the queue check or the Cancel token
+     trips, both must surface as a typed Deadline_exceeded *)
+  let expensive = Query.Ra { n = 4; adv = Query.Preset "wait-free" } in
+  (match Scheduler.submit sched ~deadline_s:0.0005 expensive with
+  | Error (Fact_error.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Fact_error.to_string e)
+  | Ok _ -> Alcotest.fail "expensive query beat a 0.5ms deadline");
+  (* the executor survives and serves the next request *)
+  (match Scheduler.submit sched ra2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  Scheduler.shutdown sched
+
+let test_scheduler_store_warm () =
+  let dir = fresh_dir () in
+  let store = Store.open_dir dir in
+  let sched = Scheduler.create ~store () in
+  let first = payload_of (Scheduler.submit sched ra2) in
+  check "computed result persisted" 1 (Store.entries store);
+  Scheduler.shutdown sched;
+  (* restart: the same store warm-starts the cache; the answer comes
+     from disk and is byte-identical *)
+  let store2 = Store.open_dir dir in
+  let sched2 = Scheduler.create ~store:store2 () in
+  (match Scheduler.submit sched2 ra2 with
+  | Ok { Scheduler.payload; source = Wire.Disk } ->
+    check_string "disk answer identical" first payload
+  | Ok { Scheduler.source = s; _ } ->
+    Alcotest.failf "expected disk hit, got %s" (Wire.source_to_string s)
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  Scheduler.shutdown sched2;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Listener + Client                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?store f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "test.sock" in
+  let store = Option.map (fun () -> Store.open_dir (Filename.concat dir "store")) store in
+  let scheduler = Scheduler.create ?store () in
+  let listener = Listener.start ~scheduler (Listener.Unix_sock sock) in
+  Fun.protect
+    ~finally:(fun () ->
+      Listener.stop listener;
+      (match store with Some s -> rm_rf (Store.dir s) | None -> ());
+      rm_rf dir)
+    (fun () -> f (Listener.Unix_sock sock))
+
+let test_concurrent_clients_identical () =
+  with_server (fun addr ->
+      let reference = Query.eval ra2 in
+      let results = Array.make 4 None in
+      let clients =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Some
+                    (Client.with_connection addr (fun c ->
+                         fst (Client.query c ra2))))
+              ())
+      in
+      Array.iter Thread.join clients;
+      Array.iter
+        (function
+          | Some p -> check_string "client payload = one-shot eval" reference p
+          | None -> Alcotest.fail "client returned nothing")
+        results)
+
+let test_listener_bad_frames () =
+  with_server (fun addr ->
+      let sock_path =
+        match addr with Listener.Unix_sock p -> p | _ -> assert false
+      in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock_path);
+      (* a malformed request gets a typed refusal... *)
+      Wire.write_frame fd "((not a)) request";
+      (match Wire.read_frame ~max_frame:Wire.default_max_frame fd with
+      | Ok raw -> (
+        match Result.bind (Sexp.of_string raw) Wire.response_of_sexp with
+        | Ok (Wire.Refused (Fact_error.Precondition _)) -> ()
+        | Ok _ -> Alcotest.fail "expected a Precondition refusal"
+        | Error m -> Alcotest.fail m)
+      | Error _ -> Alcotest.fail "no reply to malformed frame");
+      (* ...and the same connection still serves *)
+      Wire.write_frame fd (Sexp.to_string (Wire.request_to_sexp Wire.Ping));
+      (match Wire.read_frame ~max_frame:Wire.default_max_frame fd with
+      | Ok raw -> (
+        match Result.bind (Sexp.of_string raw) Wire.response_of_sexp with
+        | Ok Wire.Pong -> ()
+        | _ -> Alcotest.fail "connection unusable after refusal")
+      | Error _ -> Alcotest.fail "connection closed after refusal");
+      Unix.close fd;
+      (* an oversized frame gets a typed refusal, then the connection
+         closes; the listener itself keeps accepting *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock_path);
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int (Wire.default_max_frame + 1));
+      ignore (Unix.write fd hdr 0 4);
+      (match Wire.read_frame ~max_frame:Wire.default_max_frame fd with
+      | Ok raw -> (
+        match Result.bind (Sexp.of_string raw) Wire.response_of_sexp with
+        | Ok (Wire.Refused (Fact_error.Resource_limit _)) -> ()
+        | Ok _ -> Alcotest.fail "expected a Resource_limit refusal"
+        | Error m -> Alcotest.fail m)
+      | Error _ -> Alcotest.fail "no reply to oversized frame");
+      Unix.close fd;
+      Client.with_connection addr (fun c -> Client.ping c))
+
+let test_client_deadline_typed () =
+  with_server (fun addr ->
+      Client.with_connection addr (fun c ->
+          let expensive = Query.Ra { n = 4; adv = Query.Preset "wait-free" } in
+          (match Client.query c ~deadline_s:0.0005 expensive with
+          | _ -> Alcotest.fail "expensive query beat a 0.5ms deadline"
+          | exception Fact_error.Error e ->
+            check "deadline maps to exit 3" 3 (Fact_error.exit_code e));
+          (* the same connection, and the server, keep working *)
+          let p, _ = Client.query c ra2 in
+          check_string "served after deadline" (Query.eval ra2) p))
+
+let test_serve_chaos () =
+  let stats = Serve_chaos.run ~seed:7 ~max_faults:12 () in
+  check "all faults injected" 12 stats.Serve_chaos.injected;
+  Alcotest.(check (list string)) "no violations" [] stats.Serve_chaos.violations
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "sexp roundtrip" `Quick test_sexp_roundtrip;
+    Alcotest.test_case "checkpoint error names file" `Quick
+      test_checkpoint_error_names_file;
+    Alcotest.test_case "query roundtrip + digest" `Quick test_query_roundtrip;
+    Alcotest.test_case "wire roundtrip + version" `Quick test_wire_roundtrip;
+    Alcotest.test_case "store restart roundtrip" `Quick
+      test_store_restart_roundtrip;
+    Alcotest.test_case "cache import/probe/evict hooks" `Quick
+      test_cache_add_find_evict;
+    Alcotest.test_case "scheduler dedup" `Slow test_scheduler_dedup;
+    Alcotest.test_case "scheduler deadline" `Quick test_scheduler_deadline;
+    Alcotest.test_case "scheduler store warm restart" `Quick
+      test_scheduler_store_warm;
+    Alcotest.test_case "concurrent clients identical" `Quick
+      test_concurrent_clients_identical;
+    Alcotest.test_case "listener bad frames" `Quick test_listener_bad_frames;
+    Alcotest.test_case "client deadline typed" `Quick
+      test_client_deadline_typed;
+    Alcotest.test_case "serve chaos" `Slow test_serve_chaos;
+  ]
