@@ -700,7 +700,12 @@ let bench_json () =
       entry ~name:"ra_fig5b" ~n:3 ~reps:50
         ~facets:(Complex.facet_count (Ra.complex (Lazy.force alpha_5b) ~n:3))
         (fun () -> Ra.complex (Lazy.force alpha_5b) ~n:3);
+      (* materialized closure (Set of interned simplices) vs the
+         streaming kernel: same count, no intermediate complex. *)
       entry ~name:"closure_chr2" ~n:4 ~reps:5
+        ~facets:(List.length (Complex.all_simplices (closure_host 4)))
+        (fun () -> List.length (Complex.all_simplices (closure_host 4)));
+      entry ~name:"closure_chr2_stream" ~n:4 ~reps:5
         ~facets:(Complex.simplex_count (closure_host 4))
         (fun () -> Complex.simplex_count (closure_host 4));
       (let explore_is () =
@@ -717,6 +722,24 @@ let bench_json () =
        in
        entry ~name:"explore_alg1" ~n:2 ~reps:3 ~facets:(explore_alg1 ())
          explore_alg1);
+      (* the same explorations fanned out over the domain pool; the
+         counts are bit-identical to the sequential entries above. *)
+      (let explore_is_par () =
+         let stats, _ =
+           Harness.explore_immediate_snapshot ~domains:4 ~n:3 ()
+         in
+         stats.Explore.runs
+       in
+       entry ~name:"explore_is_par" ~n:3 ~reps:3 ~facets:(explore_is_par ())
+         explore_is_par);
+      (let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
+       let explore_alg1_par () =
+         (Harness.explore_algorithm1 ~domains:4 ~alpha:wf2
+            ~participants:(Pset.full 2) ())
+           .Explore.runs
+       in
+       entry ~name:"explore_alg1_par" ~n:2 ~reps:3
+         ~facets:(explore_alg1_par ()) explore_alg1_par);
     ]
   in
   (* The same R_A under a tight cache cap: steady state now pays
@@ -808,9 +831,12 @@ let bench_json () =
   output_string oc "\n], \"caches\": [\n";
   output_string oc (String.concat ",\n" cache_lines);
   output_string oc
-    (Printf.sprintf "\n], \"domains\": %d}\n" (Parallel.default_domains ()));
+    (Printf.sprintf "\n], \"domains\": %d, \"domain_spawns\": %d}\n"
+       (Parallel.default_domains ()) (Parallel.domain_spawns ()));
   close_out oc;
-  pf "wrote %s (domains=%d)@." bench_json_file (Parallel.default_domains ())
+  pf "wrote %s (domains=%d, domain spawns=%d)@." bench_json_file
+    (Parallel.default_domains ())
+    (Parallel.domain_spawns ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -261,7 +261,7 @@ let load_checkpoint file =
   | Error msg -> failwith msg (* already names the file *)
 
 let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
-    checkpoint_every resume_file n preset live_sets =
+    checkpoint_every resume_file domains n preset live_sets =
   let participants = Pset.full n in
   let resume = Option.map load_checkpoint resume_file in
   let on_checkpoint =
@@ -274,7 +274,7 @@ let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
   | "is" ->
     let stats, parts =
       Harness.explore_immediate_snapshot ~max_depth ~max_runs ?resume
-        ~checkpoint_every ?on_checkpoint ~n ()
+        ~checkpoint_every ?on_checkpoint ?domains ~n ()
     in
     pf "one-shot IS, n=%d: %a@." n Explore.pp_stats stats;
     pf "distinct ordered partitions: %d (fubini %d = %d)@."
@@ -291,7 +291,7 @@ let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
     if skip_wait then pf "ablation: wait phase disabled@.";
     let stats =
       Harness.explore_algorithm1 ~skip_wait ?max_crashes ~max_depth
-        ~max_runs ?resume ~checkpoint_every ?on_checkpoint ~alpha
+        ~max_runs ?resume ~checkpoint_every ?on_checkpoint ?domains ~alpha
         ~participants ()
     in
     pf "Algorithm 1, n=%d: %a@." n Explore.pp_stats stats;
@@ -370,6 +370,16 @@ let explore_cmd =
             "Resume an interrupted exploration from a checkpoint FILE; the \
              final counts equal an uninterrupted run's.")
   in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Fan the search out over N domains of the work-stealing pool \
+             (default: FACT_DOMAINS or 1). The reported counts are \
+             identical for any N.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -378,13 +388,16 @@ let explore_cmd =
           adversary defaults to wait-free.")
     Term.(
       const (fun timeout protocol max_depth max_runs max_crashes skip_wait
-                 checkpoint_file checkpoint_every resume_file n preset live ->
+                 checkpoint_file checkpoint_every resume_file domains n preset
+                 live ->
           guarded timeout (fun () ->
               explore protocol max_depth max_runs max_crashes skip_wait
-                checkpoint_file checkpoint_every resume_file n preset live))
+                checkpoint_file checkpoint_every resume_file domains n preset
+                live))
       $ timeout_arg $ protocol_arg $ max_depth_arg $ max_runs_arg
       $ max_crashes_arg $ skip_wait_arg $ checkpoint_file_arg
-      $ checkpoint_every_arg $ resume_arg $ n_arg $ preset_arg $ live_arg)
+      $ checkpoint_every_arg $ resume_arg $ domains_arg $ n_arg $ preset_arg
+      $ live_arg)
 
 (* ----------------------------- chaos ------------------------------ *)
 

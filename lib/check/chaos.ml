@@ -9,6 +9,7 @@ type stats = {
   worker_transient : int;
   cancellations : int;
   evictions : int;
+  explore_storms : int;
   typed_errors : int;
   completed : int;
   violations : string list;
@@ -27,6 +28,7 @@ let run ?(seed = 0) ~max_faults () =
   let worker_transient = ref 0 in
   let cancellations = ref 0 in
   let evictions = ref 0 in
+  let explore_storms = ref 0 in
   let typed_errors = ref 0 in
   let completed = ref 0 in
   let violations = ref [] in
@@ -42,6 +44,17 @@ let run ?(seed = 0) ~max_faults () =
     ]
   in
   let refs = List.map (fun a -> (a, Ra.complex a ~n:3)) alphas in
+  (* Uninterrupted parallel-exploration reference for the explore
+     storm, forced once on first use. *)
+  let explore_ref =
+    lazy
+      (let stats, parts = Harness.explore_immediate_snapshot ~n:3 () in
+       ( stats.Explore.runs,
+         stats.Explore.truncated,
+         stats.Explore.pruned,
+         stats.Explore.crash_patterns,
+         parts ))
+  in
   let check_pipeline what =
     List.iter
       (fun (a, reference) ->
@@ -58,7 +71,7 @@ let run ?(seed = 0) ~max_faults () =
      eviction is audited. *)
   Cache.set_check true;
   for _ = 1 to max_faults do
-    match Random.State.int rng 4 with
+    match Random.State.int rng 5 with
     | 0 -> (
       (* Deterministic worker crash: must aggregate to Worker_failure
          and leave the fan-out reusable. *)
@@ -123,6 +136,58 @@ let run ?(seed = 0) ~max_faults () =
       | exception e ->
         violation "cancel: untyped escape %s" (Printexc.to_string e));
       check_pipeline "cancel")
+    | 3 -> (
+      (* Explore storm: cancel a pooled parallel exploration
+         mid-search, then resume fault-free from the snapshot flushed
+         on the trip; the resumed stats must be bit-identical to the
+         uninterrupted reference. *)
+      incr explore_storms;
+      let runs_ref, trunc_ref, pruned_ref, patterns_ref, parts_ref =
+        Lazy.force explore_ref
+      in
+      let saved = ref None in
+      let tok = Cancel.create ~trip_after:(1 + Random.State.int rng 2500) () in
+      let first =
+        match
+          Cancel.with_token tok (fun () ->
+              Harness.explore_immediate_snapshot ~n:3 ~checkpoint_every:100
+                ~on_checkpoint:(fun ck -> saved := Some ck)
+                ~domains:4 ())
+        with
+        | r -> Some r
+        | exception Fact_error.Error (Fact_error.Cancelled _) ->
+          incr cancellations;
+          incr typed_errors;
+          None
+        | exception e ->
+          violation "explore storm: untyped escape %s" (Printexc.to_string e);
+          None
+      in
+      let final =
+        match first with
+        | Some r -> Some r
+        | None -> (
+          match
+            Harness.explore_immediate_snapshot ?resume:!saved ~domains:4 ~n:3
+              ()
+          with
+          | r -> Some r
+          | exception e ->
+            violation "explore storm: resume raised %s" (Printexc.to_string e);
+            None)
+      in
+      match final with
+      | None -> ()
+      | Some (stats, parts) ->
+        if
+          stats.Explore.runs = runs_ref
+          && stats.Explore.truncated = trunc_ref
+          && stats.Explore.pruned = pruned_ref
+          && stats.Explore.crash_patterns = patterns_ref
+          && List.length parts = List.length parts_ref
+          && List.for_all2 Opart.equal parts parts_ref
+        then incr completed
+        else violation "explore storm: resumed stats differ from reference")
     | _ ->
       (* Forced eviction under recompute-equality checking: the
          recomputed pipeline must match; a cache that recomputes a
@@ -140,6 +205,7 @@ let run ?(seed = 0) ~max_faults () =
     worker_transient = !worker_transient;
     cancellations = !cancellations;
     evictions = !evictions;
+    explore_storms = !explore_storms;
     typed_errors = !typed_errors;
     completed = !completed;
     violations = List.rev !violations;
@@ -148,7 +214,8 @@ let run ?(seed = 0) ~max_faults () =
 let pp_stats ppf s =
   Format.fprintf ppf
     "injected %d (worker crash %d, transient %d, cancel trips %d, \
-     evictions %d) typed errors %d completed %d violations %d"
+     evictions %d, explore storms %d) typed errors %d completed %d \
+     violations %d"
     s.injected s.worker_crash s.worker_transient s.cancellations s.evictions
-    s.typed_errors s.completed
+    s.explore_storms s.typed_errors s.completed
     (List.length s.violations)

@@ -16,6 +16,11 @@
       either lets the call complete with the reference result or
       raises a typed [Cancelled]; a fault-free recompute afterwards
       still matches the reference.
+    - {b explore storm}: an ambient token cancels a parallel
+      exploration (one-shot IS, [n = 3], on the domain pool)
+      mid-search; the snapshot flushed on the trip is resumed
+      fault-free and the resumed stats and partitions must be
+      bit-identical to the uninterrupted reference.
     - {b forced eviction}: with recompute-equality checking on, all
       bounded caches are flushed mid-pipeline and the recomputed
       [R_A] must equal the reference (a mismatch raises from the cache
@@ -30,6 +35,7 @@ type stats = {
   worker_transient : int;
   cancellations : int;    (** cancel faults that actually tripped *)
   evictions : int;
+  explore_storms : int;   (** cancel-and-resume exploration faults *)
   typed_errors : int;     (** faults surfacing as typed [Fact_error] *)
   completed : int;        (** faults absorbed with correct results *)
   violations : string list;  (** invariant failures, oldest first *)

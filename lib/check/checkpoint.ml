@@ -5,7 +5,7 @@ type t = {
   protocol : string;
   n : int;
   participants : Pset.t;
-  state : Explore.checkpoint;
+  state : Explore.snapshot;
   parts : Opart.t list;
 }
 
@@ -15,30 +15,156 @@ let frontier_entry_sx (d, done_) =
   Sexp.List
     [ Trace.sexp_of_decision d; Sexp.List (List.map Trace.sexp_of_decision done_) ]
 
+let frontier_sx fr = Sexp.List (List.map frontier_entry_sx fr)
+
 let part_sx part =
   Sexp.List (List.map (fun b -> ints_sx (Pset.to_list b)) (Opart.blocks part))
 
-let to_sexp t =
+(* Sequential snapshots keep the original (PR 3) field layout, so
+   checkpoint files written before parallel exploration existed still
+   load, and single-DFS checkpoints round-trip byte-identically against
+   that format. Parallel snapshots replace the inline DFS state with a
+   [subtrees] list: per subtree the identifying prefix and its
+   progress — todo, a final tally, or an interrupted frontier. *)
+let progress_sx = function
+  | Explore.Todo -> Sexp.Atom "todo"
+  | Explore.Done t ->
+    Sexp.List
+      [
+        Sexp.Atom "done";
+        Sexp.List [ Sexp.Atom "runs"; Sexp.int t.Explore.t_runs ];
+        Sexp.List [ Sexp.Atom "truncated"; Sexp.int t.t_truncated ];
+        Sexp.List [ Sexp.Atom "pruned"; Sexp.int t.t_pruned ];
+        Sexp.List [ Sexp.Atom "patterns"; ints_sx t.t_patterns ];
+        Sexp.List
+          [
+            Sexp.Atom "exhausted";
+            Sexp.Atom (if t.t_exhausted then "true" else "false");
+          ];
+      ]
+  | Explore.Active ck ->
+    Sexp.List
+      [
+        Sexp.Atom "active";
+        Sexp.List [ Sexp.Atom "runs"; Sexp.int ck.Explore.ck_runs ];
+        Sexp.List [ Sexp.Atom "truncated"; Sexp.int ck.ck_truncated ];
+        Sexp.List [ Sexp.Atom "pruned"; Sexp.int ck.ck_pruned ];
+        Sexp.List [ Sexp.Atom "patterns"; ints_sx ck.ck_patterns ];
+        Sexp.List [ Sexp.Atom "frontier"; frontier_sx ck.frontier ];
+      ]
+
+let subtree_sx st =
   Sexp.List
+    [
+      Sexp.List [ Sexp.Atom "prefix"; frontier_sx st.Explore.prefix ];
+      Sexp.List [ Sexp.Atom "status"; progress_sx st.Explore.progress ];
+    ]
+
+let to_sexp t =
+  let header =
     [
       Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom t.protocol ];
       Sexp.List [ Sexp.Atom "n"; Sexp.int t.n ];
       Sexp.List [ Sexp.Atom "participants"; ints_sx (Pset.to_list t.participants) ];
-      Sexp.List [ Sexp.Atom "runs"; Sexp.int t.state.Explore.ck_runs ];
-      Sexp.List [ Sexp.Atom "truncated"; Sexp.int t.state.Explore.ck_truncated ];
-      Sexp.List [ Sexp.Atom "pruned"; Sexp.int t.state.Explore.ck_pruned ];
-      Sexp.List [ Sexp.Atom "patterns"; ints_sx t.state.Explore.ck_patterns ];
-      Sexp.List
-        [
-          Sexp.Atom "frontier";
-          Sexp.List (List.map frontier_entry_sx t.state.Explore.frontier);
-        ];
-      Sexp.List [ Sexp.Atom "parts"; Sexp.List (List.map part_sx t.parts) ];
     ]
+  in
+  let state =
+    match t.state with
+    | Explore.Seq ck ->
+      [
+        Sexp.List [ Sexp.Atom "runs"; Sexp.int ck.Explore.ck_runs ];
+        Sexp.List [ Sexp.Atom "truncated"; Sexp.int ck.ck_truncated ];
+        Sexp.List [ Sexp.Atom "pruned"; Sexp.int ck.ck_pruned ];
+        Sexp.List [ Sexp.Atom "patterns"; ints_sx ck.ck_patterns ];
+        Sexp.List [ Sexp.Atom "frontier"; frontier_sx ck.frontier ];
+      ]
+    | Explore.Par subs ->
+      [ Sexp.List [ Sexp.Atom "subtrees"; Sexp.List (List.map subtree_sx subs) ] ]
+  in
+  let footer = [ Sexp.List [ Sexp.Atom "parts"; Sexp.List (List.map part_sx t.parts) ] ] in
+  Sexp.List (header @ state @ footer)
 
 let to_string t = Sexp.to_string (to_sexp t)
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let entry_of_sexp = function
+  | Sexp.List [ d_sx; Sexp.List done_sx ] ->
+    let* d = Trace.decision_of_sexp d_sx in
+    let* dn = Sexp.map_result Trace.decision_of_sexp done_sx in
+    Ok (d, dn)
+  | _ -> Error "bad frontier entry: expected (decision (decisions))"
+
+let bool_of_sexp = function
+  | Sexp.Atom "true" -> Ok true
+  | Sexp.Atom "false" -> Ok false
+  | _ -> Error "bad boolean: expected true or false"
+
+let progress_of_sexp = function
+  | Sexp.Atom "todo" -> Ok Explore.Todo
+  | Sexp.List
+      [
+        Sexp.Atom "done";
+        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
+        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
+        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
+        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
+        Sexp.List [ Sexp.Atom "exhausted"; ex_sx ];
+      ] ->
+    let* t_runs = Sexp.to_int runs_sx in
+    let* t_truncated = Sexp.to_int tr_sx in
+    let* t_pruned = Sexp.to_int pr_sx in
+    let* t_patterns = Sexp.map_result Sexp.to_int pat_sx in
+    let* t_exhausted = bool_of_sexp ex_sx in
+    Ok
+      (Explore.Done
+         { Explore.t_runs; t_truncated; t_pruned; t_patterns; t_exhausted })
+  | Sexp.List
+      [
+        Sexp.Atom "active";
+        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
+        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
+        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
+        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
+        Sexp.List [ Sexp.Atom "frontier"; Sexp.List fr_sx ];
+      ] ->
+    let* ck_runs = Sexp.to_int runs_sx in
+    let* ck_truncated = Sexp.to_int tr_sx in
+    let* ck_pruned = Sexp.to_int pr_sx in
+    let* ck_patterns = Sexp.map_result Sexp.to_int pat_sx in
+    let* frontier = Sexp.map_result entry_of_sexp fr_sx in
+    Ok
+      (Explore.Active
+         { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier })
+  | _ -> Error "bad subtree status: expected todo, (done ...) or (active ...)"
+
+let subtree_of_sexp = function
+  | Sexp.List
+      [
+        Sexp.List [ Sexp.Atom "prefix"; Sexp.List pre_sx ];
+        Sexp.List [ Sexp.Atom "status"; st_sx ];
+      ] ->
+    let* prefix = Sexp.map_result entry_of_sexp pre_sx in
+    let* progress = progress_of_sexp st_sx in
+    Ok { Explore.prefix; progress }
+  | _ -> Error "bad subtree: expected ((prefix ...) (status ...))"
+
+let parts_of_sexp opart_sx =
+  let block = function
+    | Sexp.List b ->
+      let* is = Sexp.map_result Sexp.to_int b in
+      Ok (Pset.of_list is)
+    | Sexp.Atom _ -> Error "bad block: expected a list of process ids"
+  in
+  let opart = function
+    | Sexp.List bs -> (
+      let* blocks = Sexp.map_result block bs in
+      match Opart.make blocks with
+      | p -> Ok p
+      | exception Invalid_argument m -> Error m)
+    | Sexp.Atom _ -> Error "bad partition: expected a list of blocks"
+  in
+  Sexp.map_result opart opart_sx
 
 let of_sexp sx =
   match sx with
@@ -60,36 +186,36 @@ let of_sexp sx =
     let* ck_truncated = Sexp.to_int tr_sx in
     let* ck_pruned = Sexp.to_int pr_sx in
     let* ck_patterns = Sexp.map_result Sexp.to_int pat_sx in
-    let entry = function
-      | Sexp.List [ d_sx; Sexp.List done_sx ] ->
-        let* d = Trace.decision_of_sexp d_sx in
-        let* dn = Sexp.map_result Trace.decision_of_sexp done_sx in
-        Ok (d, dn)
-      | _ -> Error "bad frontier entry: expected (decision (decisions))"
-    in
-    let* frontier = Sexp.map_result entry fr_sx in
-    let block = function
-      | Sexp.List b ->
-        let* is = Sexp.map_result Sexp.to_int b in
-        Ok (Pset.of_list is)
-      | Sexp.Atom _ -> Error "bad block: expected a list of process ids"
-    in
-    let opart = function
-      | Sexp.List bs -> (
-        let* blocks = Sexp.map_result block bs in
-        match Opart.make blocks with
-        | p -> Ok p
-        | exception Invalid_argument m -> Error m)
-      | Sexp.Atom _ -> Error "bad partition: expected a list of blocks"
-    in
-    let* parts = Sexp.map_result opart opart_sx in
+    let* frontier = Sexp.map_result entry_of_sexp fr_sx in
+    let* parts = parts_of_sexp opart_sx in
     Ok
       {
         protocol;
         n;
         participants = Pset.of_list participants;
         state =
-          { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier };
+          Explore.Seq
+            { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier };
+        parts;
+      }
+  | Sexp.List
+      [
+        Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom protocol ];
+        Sexp.List [ Sexp.Atom "n"; n_sx ];
+        Sexp.List [ Sexp.Atom "participants"; Sexp.List parts_sx ];
+        Sexp.List [ Sexp.Atom "subtrees"; Sexp.List subs_sx ];
+        Sexp.List [ Sexp.Atom "parts"; Sexp.List opart_sx ];
+      ] ->
+    let* n = Sexp.to_int n_sx in
+    let* participants = Sexp.map_result Sexp.to_int parts_sx in
+    let* subtrees = Sexp.map_result subtree_of_sexp subs_sx in
+    let* parts = parts_of_sexp opart_sx in
+    Ok
+      {
+        protocol;
+        n;
+        participants = Pset.of_list participants;
+        state = Explore.Par subtrees;
         parts;
       }
   | _ -> Error "malformed checkpoint file"

@@ -3,15 +3,28 @@
     A checkpoint file records everything needed to resume a [fact
     explore] run: which protocol was being explored (so a resume
     against the wrong one fails fast), the universe, the explorer's
-    {!Explore.checkpoint} (counters plus decision frontier), and — for
-    the immediate-snapshot harness — the distinct ordered partitions
-    already observed. The format is the same s-expression dialect as
-    {!Trace}, one value per file:
+    {!Explore.snapshot}, and — for the immediate-snapshot harness —
+    the distinct ordered partitions already observed. The format is
+    the same s-expression dialect as {!Trace}, one value per file. A
+    sequential snapshot keeps the original inline layout (older
+    checkpoint files load unchanged):
 
     {v ((protocol is) (n 2) (participants (0 1)) (runs 5)
         (truncated 0) (pruned 1) (patterns (0 3))
         (frontier ((s0 (s1)) (s1 ())))
-        (parts (((0) (1)) ((0 1))))) v} *)
+        (parts (((0) (1)) ((0 1))))) v}
+
+    A parallel snapshot replaces the inline DFS state with a
+    [subtrees] list — per subtree task its identifying prefix and its
+    progress ([todo], a final [done] tally, or an interrupted [active]
+    frontier):
+
+    {v ((protocol is) (n 2) (participants (0 1))
+        (subtrees (((prefix ((s0 ()))) (status todo))
+                   ((prefix ((s1 (s0))))
+                    (status (active (runs 3) (truncated 0) (pruned 1)
+                            (patterns (0)) (frontier ((s1 (s0)) (s0 ()))))))))
+        (parts ())) v} *)
 
 open Fact_topology
 
@@ -19,7 +32,7 @@ type t = {
   protocol : string;  (** e.g. ["is"] or ["alg1"]; checked on resume *)
   n : int;
   participants : Pset.t;
-  state : Explore.checkpoint;
+  state : Explore.snapshot;
   parts : Opart.t list;
       (** partitions observed so far ([is] harness; empty otherwise) *)
 }

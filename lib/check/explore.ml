@@ -29,7 +29,7 @@ type 'r stats = {
   exhausted : bool;
 }
 
-(* A resumable snapshot of the DFS: the counters so far plus, for every
+(* A resumable snapshot of one DFS: the counters so far plus, for every
    depth of the current path, the chosen decision and the fully
    explored siblings. [enabled], [sleep0], [ops] and [crashes_before]
    are deliberately absent — they are deterministic functions of the
@@ -43,6 +43,42 @@ type checkpoint = {
   frontier : (Trace.decision * Trace.decision list) list;
       (* (chosen, done) per depth, outermost first *)
 }
+
+(* Parallel exploration splits the decision tree into subtree tasks,
+   each identified by a forced (chosen, done)-prefix. The prefix pins
+   both the path into the tree and the sibling context (which branches
+   of each prefix node the task owns are exactly [enabled \ (done ∪
+   sleep)], all deterministic functions of the prefix), so a task is a
+   self-contained unit of work and the partition refines the
+   sequential DFS. *)
+type tally = {
+  t_runs : int;
+  t_truncated : int;
+  t_pruned : int;
+  t_patterns : int list;
+  t_exhausted : bool;
+}
+
+type progress = Todo | Done of tally | Active of checkpoint
+
+type subtree = {
+  prefix : (Trace.decision * Trace.decision list) list;
+  progress : progress;
+}
+
+type snapshot = Seq of checkpoint | Par of subtree list
+
+let zero_tally =
+  { t_runs = 0; t_truncated = 0; t_pruned = 0; t_patterns = []; t_exhausted = false }
+
+let tally_of_checkpoint ck =
+  {
+    t_runs = ck.ck_runs;
+    t_truncated = ck.ck_truncated;
+    t_pruned = ck.ck_pruned;
+    t_patterns = ck.ck_patterns;
+    t_exhausted = false;
+  }
 
 (* A node of the decision tree, one per depth of the current DFS path.
    [enabled] is fixed at node creation; [chosen] is the decision of the
@@ -70,32 +106,41 @@ let independent node d1 d2 =
   | Trace.Crash p, Trace.Step q | Trace.Step q, Trace.Crash p -> p <> q
   | Trace.Crash _, Trace.Crash _ -> false
 
-let explore ?(config = config ()) ?(stop_on_violation = false)
-    ?(on_run = fun _ -> ()) ?resume ?(checkpoint_every = 0)
-    ?(on_checkpoint = fun _ -> ()) ~n ~participants ~procs ~prop () =
-  let cfg = config in
+(* Raised by a subtree task's per-execution hook when the shared run
+   budget trips or a lower-indexed task already found a violation: the
+   task's speculative results are discarded, never merged. *)
+exception Task_abort
+
+type 'r core_result = {
+  r_stats : 'r stats;
+  r_patterns : int list; (* final distinct masks, incl. restored ones *)
+  r_executions : int;    (* executions performed by this invocation *)
+}
+
+(* The sequential DFS core. [forced] replays a decision prefix (a
+   resume frontier or a subtree prefix) on the first run; [floor] is
+   the backtrack floor — nodes at depths < floor belong to the caller's
+   partition and are never advanced, so the search covers exactly the
+   subtree below the prefix. [budget] bounds executions performed by
+   this invocation; [on_execution] runs before each one (the parallel
+   driver's shared-budget / abort hook). [capture = Some (d, cell)]
+   switches to probe mode: one execution, record into [cell] the
+   branch decisions at depth [d] (enabled minus sleep set), count
+   nothing. *)
+let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
+    ~on_execution ~checkpoint_every ~on_checkpoint ~capture ~n ~participants
+    ~procs ~prop () =
   let path : node option array = Array.make cfg.max_depth None in
   let plen = ref 0 in
-  let runs = ref 0 in
-  let truncated_runs = ref 0 in
-  let pruned = ref 0 in
+  let runs = ref base.t_runs in
+  let truncated_runs = ref base.t_truncated in
+  let pruned = ref base.t_pruned in
   let violations = ref [] in
   let patterns = Hashtbl.create 16 in
-  (* Resume: restore the counters; the frontier is reinstalled by
-     forcing the first run along the checkpointed decisions, rebuilding
-     each node's [enabled]/[sleep0]/[ops] deterministically. *)
-  let forced, forced_done =
-    match resume with
-    | None -> ([||], [||])
-    | Some ck ->
-      runs := ck.ck_runs;
-      truncated_runs := ck.ck_truncated;
-      pruned := ck.ck_pruned;
-      List.iter (fun m -> Hashtbl.replace patterns m ()) ck.ck_patterns;
-      ( Array.of_list (List.map fst ck.frontier),
-        Array.of_list (List.map snd ck.frontier) )
-  in
-  let forcing = ref (Array.length forced > 0) in
+  List.iter (fun m -> Hashtbl.replace patterns m ()) base.t_patterns;
+  let forced_d = Array.of_list (List.map fst forced) in
+  let forced_done = Array.of_list (List.map snd forced) in
+  let forcing = ref (Array.length forced_d > 0) in
   let node_at i = match path.(i) with Some nd -> nd | None -> assert false in
 
   (* One execution following the current path as prefix, extending it
@@ -143,12 +188,12 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
                   (par.sleep0 @ par.done_)
             in
             let choice =
-              if !forcing && !depth < Array.length forced then begin
-                (* Resume: rebuild the checkpointed node. The forced
-                   decision must still be enabled — anything else means
-                   the checkpoint was taken against a different
-                   protocol or configuration. *)
-                let d = forced.(!depth) in
+              if !forcing && !depth < Array.length forced_d then begin
+                (* Resume or subtree prefix: rebuild the recorded node.
+                   The forced decision must still be enabled — anything
+                   else means the checkpoint was taken against a
+                   different protocol or configuration. *)
+                let d = forced_d.(!depth) in
                 if not (List.mem d enabled) then
                   Fact_resilience.Fact_error.precondition
                     ~fn:"Explore.explore"
@@ -205,10 +250,11 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
   in
 
   (* Move to the next unexplored branch: mark the deepest node's chosen
-     decision as done, pick a fresh sibling if any, else pop. Returns
-     false when the tree is exhausted. *)
+     decision as done, pick a fresh sibling if any, else pop — but
+     never past [floor]: prefix nodes belong to the caller's partition.
+     Returns false when the subtree is exhausted. *)
   let rec backtrack () =
-    if !plen = 0 then false
+    if !plen <= floor then false
     else begin
       let nd = node_at (!plen - 1) in
       nd.done_ <- nd.chosen :: nd.done_;
@@ -236,7 +282,9 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
   (* Snapshot for resume. Taken at the top of the loop, so the frontier
      is exactly the prefix the next (not yet counted) run will follow:
      a resumed exploration replays that one run under forcing and then
-     continues as if never interrupted. *)
+     continues as if never interrupted. Before the first run the path
+     is still empty, so fall back to the pending forced prefix — a
+     flush must never lose the task's position. *)
   let current_checkpoint () =
     {
       ck_runs = !runs;
@@ -244,16 +292,19 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
       ck_pruned = !pruned;
       ck_patterns = Hashtbl.fold (fun m () acc -> m :: acc) patterns [];
       frontier =
-        List.init !plen (fun i ->
-            let nd = node_at i in
-            (nd.chosen, nd.done_));
+        (if !forcing then forced
+         else
+           List.init !plen (fun i ->
+               let nd = node_at i in
+               (nd.chosen, nd.done_)));
     }
   in
 
   let executions = ref 0 in
   let exhausted = ref false in
   let stop = ref false in
-  while (not !stop) && !executions < cfg.max_runs do
+  while (not !stop) && !executions < budget do
+    (match on_execution with None -> () | Some hook -> hook ());
     (* Cancellation is polled once per run; a trip flushes a final
        checkpoint so the exploration can be resumed later. *)
     (try Fact_resilience.Cancel.poll ~where:"Explore.explore"
@@ -267,35 +318,376 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
     let report, truncated, blocked = run_once () in
     forcing := false;
     incr executions;
-    if blocked then incr pruned
-    else begin
-      if truncated then incr truncated_runs else incr runs;
-      let outcome = { report; trace = current_trace (); truncated } in
-      if not truncated then begin
-        let faulty = Trace.crashes outcome.trace in
-        if not (Hashtbl.mem patterns (Pset.to_mask faulty)) then
-          Hashtbl.add patterns (Pset.to_mask faulty) ()
+    (match capture with
+    | Some (d, cell) ->
+      (* probe mode: record the branch decisions at depth [d] — the
+         node's enabled minus its sleep set, in enabled order, which is
+         exactly the branch set the sequential DFS explores there *)
+      if d < !plen then begin
+        let nd = node_at d in
+        cell :=
+          Some
+            (List.filter (fun x -> not (List.mem x nd.sleep0)) nd.enabled)
       end;
-      on_run outcome;
-      if not (prop report) then begin
-        violations := outcome :: !violations;
-        if stop_on_violation then stop := true
-      end
-    end;
-    if not !stop then
-      if not (backtrack ()) then begin
-        exhausted := true;
-        stop := true
-      end
+      stop := true
+    | None ->
+      if blocked then incr pruned
+      else begin
+        if truncated then incr truncated_runs else incr runs;
+        let outcome = { report; trace = current_trace (); truncated } in
+        if not truncated then begin
+          let faulty = Trace.crashes outcome.trace in
+          if not (Hashtbl.mem patterns (Pset.to_mask faulty)) then
+            Hashtbl.add patterns (Pset.to_mask faulty) ()
+        end;
+        on_run outcome;
+        if not (prop report) then begin
+          violations := outcome :: !violations;
+          if stop_on_violation then stop := true
+        end
+      end;
+      if not !stop then
+        if not (backtrack ()) then begin
+          exhausted := true;
+          stop := true
+        end)
   done;
   {
+    r_stats =
+      {
+        runs = !runs;
+        truncated = !truncated_runs;
+        pruned = !pruned;
+        crash_patterns = Hashtbl.length patterns;
+        violations = List.rev !violations;
+        exhausted = !exhausted;
+      };
+    r_patterns = Hashtbl.fold (fun m () acc -> m :: acc) patterns [];
+    r_executions = !executions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Subtree splitting.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The branch set the sequential DFS explores at a node is [enabled \
+   sleep0] in enabled order; the [done] context each branch sees is the
+   previously-explored siblings, newest first. *)
+let expand_children explored =
+  let rec go done_ acc = function
+    | [] -> List.rev acc
+    | d :: rest -> go (d :: done_) ((d, done_) :: acc) rest
+  in
+  go [] [] explored
+
+(* Split the decision tree into subtree prefixes, in DFS order. Each
+   level probes every expandable leaf with one uncounted forced
+   execution to read the branch decisions at the leaf's depth; leaves
+   whose run ends, blocks or truncates before that depth stay whole.
+   Expansion stops once there are enough tasks to keep [domains]
+   workers busy (or at a fixed depth cap — beyond it task granularity
+   no longer matters, stealing balances the load). *)
+let split_subtrees ~cfg ~domains ~n ~participants ~procs =
+  let probe prefix =
+    let depth = List.length prefix in
+    if depth >= cfg.max_depth then None
+    else begin
+      let cell = ref None in
+      ignore
+        (explore_core ~cfg ~stop_on_violation:false ~on_run:(fun _ -> ())
+           ~base:zero_tally ~forced:prefix ~floor:depth ~budget:1
+           ~on_execution:None ~checkpoint_every:0
+           ~on_checkpoint:(fun _ -> ())
+           ~capture:(Some (depth, cell)) ~n ~participants ~procs
+           ~prop:(fun _ -> true) ());
+      !cell
+    end
+  in
+  let target = 2 * domains in
+  let max_levels = 3 in
+  let rec level leaves count remaining =
+    if remaining = 0 || count >= target then leaves
+    else
+      let expanded =
+        List.concat_map
+          (fun (prefix, expandable) ->
+            if not expandable then [ (prefix, false) ]
+            else
+              match probe prefix with
+              | None | Some [] -> [ (prefix, false) ]
+              | Some explored ->
+                List.map
+                  (fun (d, dn) -> (prefix @ [ (d, dn) ], true))
+                  (expand_children explored))
+          leaves
+      in
+      level expanded (List.length expanded) (remaining - 1)
+  in
+  level [ ([], true) ] 1 max_levels
+  |> List.map (fun (prefix, _) -> { prefix; progress = Todo })
+
+(* ------------------------------------------------------------------ *)
+(* The parallel driver.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic merge of per-task results, in task (= DFS) order.
+   Counter sums, pattern-set unions and in-order violation
+   concatenation are all independent of how the tree was partitioned
+   and of execution interleaving, which is what makes the counts
+   bit-identical to the sequential engine for any domain count. *)
+type 'r merged_item = M_tally of tally | M_res of 'r core_result
+
+let merge_items items ~cut =
+  let runs = ref 0 and truncated = ref 0 and pruned = ref 0 in
+  let patterns = Hashtbl.create 16 in
+  let violations = ref [] in
+  let exhausted = ref true in
+  List.iter
+    (fun item ->
+      let t_runs, t_trunc, t_pruned, masks, viols, exh =
+        match item with
+        | M_tally t ->
+          (t.t_runs, t.t_truncated, t.t_pruned, t.t_patterns, [], t.t_exhausted)
+        | M_res r ->
+          ( r.r_stats.runs,
+            r.r_stats.truncated,
+            r.r_stats.pruned,
+            r.r_patterns,
+            r.r_stats.violations,
+            r.r_stats.exhausted )
+      in
+      runs := !runs + t_runs;
+      truncated := !truncated + t_trunc;
+      pruned := !pruned + t_pruned;
+      List.iter (fun m -> Hashtbl.replace patterns m ()) masks;
+      violations := !violations @ viols;
+      if not exh then exhausted := false)
+    items;
+  {
     runs = !runs;
-    truncated = !truncated_runs;
+    truncated = !truncated;
     pruned = !pruned;
     crash_patterns = Hashtbl.length patterns;
-    violations = List.rev !violations;
-    exhausted = !exhausted;
+    violations = !violations;
+    exhausted = (not cut) && !exhausted;
   }
+
+let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
+    ~on_checkpoint ~domains ~subtrees ~n ~participants ~procs ~prop () =
+  let subs = Array.of_list subtrees in
+  let ntasks = Array.length subs in
+  let slots = Array.map (fun st -> st.progress) subs in
+  let lock = Mutex.create () in
+  let emit_lock = Mutex.create () in
+  let snapshot_locked () =
+    Par
+      (List.init ntasks (fun i ->
+           { prefix = subs.(i).prefix; progress = slots.(i) }))
+  in
+  let set_slot i p ~emit =
+    Mutex.lock lock;
+    slots.(i) <- p;
+    let snap =
+      if emit && on_checkpoint <> None then Some (snapshot_locked ())
+      else None
+    in
+    Mutex.unlock lock;
+    match (snap, on_checkpoint) with
+    | Some s, Some f ->
+      Mutex.lock emit_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> f s)
+    | _ -> ()
+  in
+  let task_inputs i =
+    match slots.(i) with
+    | Todo -> (zero_tally, subs.(i).prefix)
+    | Active ck -> (tally_of_checkpoint ck, ck.frontier)
+    | Done _ -> assert false
+  in
+  let done_tally (r : _ core_result) =
+    {
+      t_runs = r.r_stats.runs;
+      t_truncated = r.r_stats.truncated;
+      t_pruned = r.r_stats.pruned;
+      t_patterns = r.r_patterns;
+      t_exhausted = r.r_stats.exhausted;
+    }
+  in
+
+  (* Phase 1 — optimistic parallel execution. Every task runs its
+     whole subtree; a shared counter implements [max_runs]. If the
+     counter ever crosses the budget the bounded-exploration results
+     are partition-dependent, so everything from this phase is
+     discarded and phase 2 recomputes with exact sequential budget
+     semantics. With [stop_on_violation], a violation in task [i]
+     makes every higher-indexed task pointless (the sequential engine
+     would have stopped inside task [i]'s subtree): they abort early
+     and are discarded by the merge cut. *)
+  let executed = Atomic.make 0 in
+  let tripped = Atomic.make false in
+  let viol_floor = Atomic.make max_int in
+  let run_task i () =
+    let base, forced = task_inputs i in
+    let floor = List.length subs.(i).prefix in
+    let on_execution () =
+      if Atomic.get tripped then raise Task_abort;
+      if Atomic.get viol_floor < i then raise Task_abort;
+      if Atomic.fetch_and_add executed 1 >= cfg.max_runs then begin
+        Atomic.set tripped true;
+        raise Task_abort
+      end
+    in
+    let r =
+      explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor
+        ~budget:cfg.max_runs ~on_execution:(Some on_execution)
+        ~checkpoint_every
+        ~on_checkpoint:(fun ck -> set_slot i (Active ck) ~emit:true)
+        ~capture:None ~n ~participants ~procs ~prop ()
+    in
+    set_slot i (Done (done_tally r)) ~emit:false;
+    if stop_on_violation && r.r_stats.violations <> [] then begin
+      let rec lower () =
+        let cur = Atomic.get viol_floor in
+        if i < cur && not (Atomic.compare_and_set viol_floor cur i) then
+          lower ()
+      in
+      lower ()
+    end;
+    r
+  in
+  let torun =
+    List.filter
+      (fun i -> match slots.(i) with Done _ -> false | _ -> true)
+      (List.init ntasks Fun.id)
+  in
+  let outcomes =
+    Parallel.run_all ~workers:domains (List.map (fun i -> run_task i) torun)
+  in
+  let by_index = Hashtbl.create 16 in
+  List.iter2 (fun i o -> Hashtbl.replace by_index i o) torun outcomes;
+  let cancellation =
+    List.find_map
+      (function
+        | Error ((e, _) as eb)
+          when Fact_resilience.Fact_error.is_cancellation e ->
+          Some eb
+        | _ -> None)
+      outcomes
+  in
+  match cancellation with
+  | Some eb ->
+    (* every task settled (cancelled tasks flushed their frontier into
+       the slots); surface one final resumable snapshot, then
+       propagate the stop request *)
+    (match on_checkpoint with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      let s = snapshot_locked () in
+      Mutex.unlock lock;
+      Mutex.lock emit_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock emit_lock) (fun () -> f s));
+    Parallel.reraise eb
+  | None ->
+    if Atomic.get tripped then begin
+      (* Phase 2 — the run budget was hit: replay the tasks strictly
+         in order with the exact remaining budget, which is literally
+         the sequential engine applied subtree by subtree. Costs at
+         most one extra pass of [max_runs] executions, and only for
+         budget-limited explorations. *)
+      Mutex.lock lock;
+      Array.iteri (fun i st -> slots.(i) <- st.progress) subs;
+      Mutex.unlock lock;
+      let budget = ref cfg.max_runs in
+      let items = ref [] in
+      let stopped = ref false in
+      let cut = ref false in
+      for i = 0 to ntasks - 1 do
+        if not !stopped then
+          match subs.(i).progress with
+          | Done t -> items := M_tally t :: !items
+          | Todo | Active _ ->
+            if !budget <= 0 then begin
+              stopped := true;
+              cut := true
+            end
+            else begin
+              let base, forced = task_inputs i in
+              let floor = List.length subs.(i).prefix in
+              let r =
+                explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced
+                  ~floor ~budget:!budget ~on_execution:None ~checkpoint_every
+                  ~on_checkpoint:(fun ck -> set_slot i (Active ck) ~emit:true)
+                  ~capture:None ~n ~participants ~procs ~prop ()
+              in
+              budget := !budget - r.r_executions;
+              set_slot i (Done (done_tally r)) ~emit:false;
+              items := M_res r :: !items;
+              if stop_on_violation && r.r_stats.violations <> [] then begin
+                stopped := true;
+                cut := true
+              end
+            end
+      done;
+      merge_items (List.rev !items) ~cut:!cut
+    end
+    else begin
+      let fl = Atomic.get viol_floor in
+      let cut = fl < max_int in
+      let last = if cut then min fl (ntasks - 1) else ntasks - 1 in
+      let items =
+        List.init (last + 1) (fun i ->
+            match Hashtbl.find_opt by_index i with
+            | None -> (
+              match subs.(i).progress with
+              | Done t -> M_tally t
+              | _ -> assert false)
+            | Some (Ok r) -> M_res r
+            | Some (Error eb) -> Parallel.reraise eb)
+      in
+      merge_items items ~cut
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Public entry point.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let explore ?(config = config ()) ?(stop_on_violation = false)
+    ?(on_run = fun _ -> ()) ?resume ?(checkpoint_every = 0)
+    ?on_checkpoint ?domains ~n ~participants ~procs ~prop () =
+  let cfg = config in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Parallel.default_domains ()
+  in
+  let seq ~base ~forced =
+    let on_checkpoint =
+      match on_checkpoint with
+      | None -> fun _ -> ()
+      | Some f -> fun ck -> f (Seq ck)
+    in
+    (explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor:0
+       ~budget:cfg.max_runs ~on_execution:None ~checkpoint_every
+       ~on_checkpoint ~capture:None ~n ~participants ~procs ~prop ())
+      .r_stats
+  in
+  let par subtrees =
+    explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
+      ~on_checkpoint ~domains ~subtrees ~n ~participants ~procs ~prop ()
+  in
+  match resume with
+  | Some (Seq ck) -> seq ~base:(tally_of_checkpoint ck) ~forced:ck.frontier
+  | Some (Par subtrees) -> par subtrees
+  | None ->
+    if domains <= 1 then seq ~base:zero_tally ~forced:[]
+    else begin
+      match split_subtrees ~cfg ~domains ~n ~participants ~procs with
+      | [] | [ _ ] ->
+        (* nothing to fan out: the tree has at most one subtree task *)
+        seq ~base:zero_tally ~forced:[]
+      | subtrees -> par subtrees
+    end
 
 let pp_stats ppf s =
   Format.fprintf ppf

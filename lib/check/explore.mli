@@ -1,5 +1,6 @@
 (** Systematic exploration of executor interleavings (bounded model
-    checking).
+    checking), sequential or fanned out over the
+    {!Fact_topology.Parallel} domain pool.
 
     The explorer enumerates schedules of {!Fact_runtime.Exec} by
     depth-first search over scheduling decisions: at every interleaving
@@ -26,12 +27,26 @@
       (protocols with wait-loops have unboundedly long fair runs;
       deeper runs are cut and counted as [truncated], with the
       property still checked on the partial outcome — a safety check),
-      and [max_runs] bounds the total number of executions.
+      and [max_runs] bounds the total number of counted executions.
 
     When the search finishes within its budgets ([exhausted = true]),
     every interleaving of length ≤ [max_depth] (with ≤ [max_crashes]
     crashes among [crashable]) has been covered up to commutation of
-    independent steps. *)
+    independent steps.
+
+    {b Parallel exploration.} With [domains > 1] (default:
+    [Parallel.default_domains], i.e. [FACT_DOMAINS]) the decision tree
+    is split into subtree tasks — each a forced (chosen, done)-prefix
+    whose branch set, sleep sets and sibling context are deterministic
+    functions of the prefix — and the tasks run on the work-stealing
+    domain pool, sleep-set pruning staying local to each subtree.
+    Per-task (runs, truncated, pruned, patterns) tallies are merged by
+    a deterministic reduction (counter sums, pattern-set union,
+    violation concatenation in task order), so the resulting stats are
+    bit-identical to the sequential engine for {e any} domain count.
+    If the [max_runs] budget trips, the optimistic parallel pass is
+    discarded and the tasks are replayed in order with exact
+    sequential budget semantics. See DESIGN.md §5. *)
 
 open Fact_topology
 open Fact_runtime
@@ -40,7 +55,7 @@ type config = {
   max_crashes : int;  (** crash budget per run (0 = failure-free) *)
   crashable : Pset.t; (** processes the explorer may crash *)
   max_depth : int;    (** decisions per run before truncation *)
-  max_runs : int;     (** total executions (incl. pruned/truncated) *)
+  max_runs : int;     (** total counted executions (incl. pruned/truncated) *)
 }
 
 val config :
@@ -73,19 +88,46 @@ type checkpoint = {
       (** per depth, outermost first: the chosen decision and the
           fully-explored siblings *)
 }
-(** A resumable snapshot of the DFS. [enabled], sleep sets and pending
+(** A resumable snapshot of one DFS. [enabled], sleep sets and pending
     operations are deliberately absent: they are deterministic
     functions of the decision prefix, so resuming replays one run
     under forcing along [frontier] to rebuild them. Serialized by
     {!Checkpoint}. *)
 
+type tally = {
+  t_runs : int;
+  t_truncated : int;
+  t_pruned : int;
+  t_patterns : int list;
+  t_exhausted : bool;
+}
+(** Final counters of a completed subtree task. *)
+
+type progress = Todo | Done of tally | Active of checkpoint
+(** Where one subtree task stands: not started, finished, or
+    interrupted with a resumable frontier (the frontier extends the
+    subtree's prefix). *)
+
+type subtree = {
+  prefix : (Trace.decision * Trace.decision list) list;
+      (** the forced (chosen, done)-prefix identifying the subtree *)
+  progress : progress;
+}
+
+type snapshot = Seq of checkpoint | Par of subtree list
+(** What [on_checkpoint] receives and [resume] accepts: a classic
+    single-DFS snapshot, or the per-subtree frontiers of a parallel
+    exploration. A [Par] snapshot can be resumed under any domain
+    count, including 1. *)
+
 val explore :
   ?config:config ->
   ?stop_on_violation:bool ->
   ?on_run:('r outcome -> unit) ->
-  ?resume:checkpoint ->
+  ?resume:snapshot ->
   ?checkpoint_every:int ->
-  ?on_checkpoint:(checkpoint -> unit) ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  ?domains:int ->
   n:int ->
   participants:Pset.t ->
   procs:(unit -> (int -> 'r) array) ->
@@ -98,16 +140,31 @@ val explore :
     checked on every (completed or truncated) run's report. [on_run]
     observes every such run. [stop_on_violation] (default [false])
     stops at the first failure — useful as a counterexample finder.
+    [domains] (default [Parallel.default_domains ()]) > 1 fans the
+    search out over the domain pool; the resulting stats are identical
+    whatever the value.
+
+    {b Parallel-mode caveats.} [procs], [prop] and [on_run] run on
+    worker domains, possibly concurrently — they must be thread-safe
+    (fresh state per execution plus immutable/interned shared data
+    satisfies this; an [on_run] that accumulates must lock). When the
+    [max_runs] budget trips mid-search, the optimistic parallel pass
+    is discarded and recomputed, so [on_run] may observe some runs
+    more than once across the two passes — consumers should be
+    idempotent. Splitting the tree costs a handful of uncounted probe
+    executions. With [domains = 1] and no [Par] resume the engine is
+    the classic sequential loop, bit-for-bit.
 
     {b Resilience.} The ambient {!Fact_resilience.Cancel} token is
-    polled once per execution; on a trip the explorer flushes a final
-    checkpoint through [on_checkpoint] and re-raises the typed error.
-    [checkpoint_every = k > 0] also calls [on_checkpoint] every [k]
-    executions (default [0]: never). [resume] restores a previous
-    checkpoint: counters continue from the snapshot and the search
-    first replays the checkpointed frontier, so the resumed
-    exploration reaches exactly the stats an uninterrupted one would.
-    Resuming against a different protocol or configuration raises a
-    [Precondition] {!Fact_resilience.Fact_error}. *)
+    polled once per execution (on every worker); on a trip each task
+    flushes its frontier and the explorer surfaces one final resumable
+    snapshot through [on_checkpoint] before re-raising the typed
+    error. [checkpoint_every = k > 0] also calls [on_checkpoint] every
+    [k] executions (per task in parallel mode). [resume] restores a
+    previous snapshot: counters continue from the snapshot and each
+    interrupted DFS first replays its frontier under forcing, so the
+    resumed exploration reaches exactly the stats an uninterrupted one
+    would. Resuming against a different protocol or configuration
+    raises a [Precondition] {!Fact_resilience.Fact_error}. *)
 
 val pp_stats : Format.formatter -> 'r stats -> unit

@@ -13,16 +13,24 @@ let views_of_report report =
     (Exec.decided report)
 
 let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
-    ?resume ?checkpoint_every ?on_checkpoint ~n () =
+    ?resume ?checkpoint_every ?on_checkpoint ?domains ~n () =
   let parts =
     ref (match resume with Some ck -> ck.Checkpoint.parts | None -> [])
   in
+  (* [record] runs on worker domains under parallel exploration,
+     possibly concurrently and (if the run budget trips) more than
+     once per run — a locked set-insert is both thread-safe and
+     idempotent. *)
+  let parts_lock = Mutex.create () in
   let record (outcome : _ Explore.outcome) =
     if not outcome.truncated then
       match Opart.of_views (views_of_report outcome.report) with
-      | Some part when not (List.exists (Opart.equal part) !parts) ->
-        parts := part :: !parts
-      | Some _ | None -> ()
+      | Some part ->
+        Mutex.lock parts_lock;
+        if not (List.exists (Opart.equal part) !parts) then
+          parts := part :: !parts;
+        Mutex.unlock parts_lock
+      | None -> ()
   in
   let participants = Pset.full n in
   let resume_state =
@@ -44,13 +52,19 @@ let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
   let on_checkpoint =
     Option.map
       (fun f state ->
+        let parts_now =
+          Mutex.lock parts_lock;
+          let ps = List.sort Opart.compare !parts in
+          Mutex.unlock parts_lock;
+          ps
+        in
         f
           {
             Checkpoint.protocol = "is";
             n;
             participants;
             state;
-            parts = List.sort Opart.compare !parts;
+            parts = parts_now;
           })
       on_checkpoint
   in
@@ -58,7 +72,7 @@ let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
     Explore.explore
       ~config:(Explore.config ~max_depth ~max_runs ())
       ~on_run:record ?resume:resume_state ?checkpoint_every ?on_checkpoint
-      ~n ~participants ~procs:(is_procs ~n)
+      ?domains ~n ~participants ~procs:(is_procs ~n)
       ~prop:(fun report -> Opart.is_valid_views (views_of_report report))
       ()
   in
@@ -71,7 +85,7 @@ let alg1_prop ~ra report =
 
 let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
     ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation ?resume
-    ?checkpoint_every ?on_checkpoint ~alpha ~participants () =
+    ?checkpoint_every ?on_checkpoint ?domains ~alpha ~participants () =
   let n = Agreement.n alpha in
   let max_crashes =
     match max_crashes with
@@ -113,4 +127,4 @@ let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
       (Explore.config ~max_crashes ~crashable:participants ~max_depth
          ~max_runs ())
     ?stop_on_violation ?resume:resume_state ?checkpoint_every ?on_checkpoint
-    ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()
+    ?domains ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()

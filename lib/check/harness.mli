@@ -30,6 +30,7 @@ val explore_immediate_snapshot :
   ?resume:Checkpoint.t ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.t -> unit) ->
+  ?domains:int ->
   n:int ->
   unit ->
   (int * int) list Explore.stats * Opart.t list
@@ -38,10 +39,12 @@ val explore_immediate_snapshot :
     {!Opart.is_valid_views} of the decided views. Also returns the
     distinct ordered partitions of the completed runs, sorted.
 
-    [resume]/[checkpoint_every]/[on_checkpoint] thread through to
-    {!Explore.explore}, with the observed partitions carried in the
-    {!Checkpoint.t} ([protocol = "is"]). Resuming from a checkpoint of
-    another protocol or universe raises a [Precondition]
+    [resume]/[checkpoint_every]/[on_checkpoint]/[domains] thread
+    through to {!Explore.explore}, with the observed partitions
+    carried in the {!Checkpoint.t} ([protocol = "is"]); partition
+    collection is thread-safe and idempotent, as parallel exploration
+    requires of [on_run]. Resuming from a checkpoint of another
+    protocol or universe raises a [Precondition]
     {!Fact_resilience.Fact_error}. *)
 
 val alg1_prop :
@@ -59,6 +62,7 @@ val explore_algorithm1 :
   ?resume:Checkpoint.t ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Checkpoint.t -> unit) ->
+  ?domains:int ->
   alpha:Agreement.t ->
   participants:Pset.t ->
   unit ->

@@ -62,17 +62,22 @@ let check ~where = function
       Fact_error.raise_error
         (Deadline_exceeded { where; budget_s = a.budget_s })
 
-(* The ambient token. One process-wide slot: Parallel worker domains
-   inherit whatever the coordinating domain installed. *)
-let ambient : t Atomic.t = Atomic.make Never
+(* The ambient token, one slot per domain. A process-wide slot would
+   make concurrent clients of the persistent domain pool trample each
+   other's scopes; domain-local storage keeps [with_token] scopes
+   independent, and the pool propagates tokens explicitly — it
+   captures the submitter's ambient token at job submission and
+   installs it around the job on whichever domain runs it. *)
+let ambient : t Domain.DLS.key = Domain.DLS.new_key (fun () -> Never)
 
 let with_token t f =
-  let old = Atomic.exchange ambient t in
-  Fun.protect ~finally:(fun () -> Atomic.set ambient old) f
+  let old = Domain.DLS.get ambient in
+  Domain.DLS.set ambient t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient old) f
 
-let current () = Atomic.get ambient
+let current () = Domain.DLS.get ambient
 
 let poll ~where =
-  match Atomic.get ambient with
+  match Domain.DLS.get ambient with
   | Never -> ()
   | t -> check ~where t

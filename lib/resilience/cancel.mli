@@ -12,11 +12,14 @@
     Polling the default {!never} token is one [Atomic.get] plus an
     integer test — cheap enough for per-facet granularity.
 
-    The ambient slot is a process-wide atomic: worker domains spawned
-    by {!Fact_topology.Parallel} observe the token installed by the
-    coordinating domain. [with_token] scopes are meant to be driven
-    from one coordinating domain at a time (the CLI entry point);
-    nested scopes on concurrent domains would race on restore. *)
+    The ambient slot is domain-local: each domain has its own
+    [with_token] scope stack, so scopes on concurrent domains never
+    race on restore. Propagation into the {!Fact_topology.Parallel}
+    domain pool is explicit — the pool captures the submitter's
+    ambient token when work is submitted and installs it around each
+    job on whichever worker domain (or helping caller) runs it, so
+    cancelling the submitter's token trips every worker processing its
+    jobs. *)
 
 type t
 

@@ -68,15 +68,16 @@ let std_cache : Complex.t Int_pair_cache.t =
 let standard_iterated ~m ~n =
   Int_pair_cache.find_or_add std_cache (m, n) (fun (m, n) ->
       let c = iterate m (standard n) in
-      (* Pre-force the closure cache so sharing the complex with worker
-         domains later never races on it. *)
-      ignore (Complex.simplex_count c);
+      (* Pre-force the closure and Euler caches so sharing the complex
+         with worker domains later never races on them
+         ([simplex_count] streams and would leave the closure cold). *)
+      ignore (Complex.all_simplices c);
       ignore (Complex.euler_characteristic c);
       c)
 
 let facet_of_runs tau runs = List.fold_left facet_of_run tau runs
 
-let run_of_facet_uncached sigma =
+let run_of_facet sigma =
   let pairs =
     List.map
       (fun v ->
@@ -90,12 +91,6 @@ let run_of_facet_uncached sigma =
   match Opart.of_views pairs with
   | Some run -> run
   | None -> invalid_arg "Chr.run_of_facet: not a full facet of Chr"
-
-let run_cache : Opart.t Simplex_cache.t =
-  Simplex_cache.create ~name:"chr.run_of_facet" ~equal:Opart.equal ()
-
-let run_of_facet sigma =
-  Simplex_cache.find_or_add run_cache sigma run_of_facet_uncached
 
 let carrier = Simplex.carrier
 

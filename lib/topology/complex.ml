@@ -54,23 +54,59 @@ let mem s t =
   Simplex.is_empty s && not (is_empty t)
   || Simplex.Set.exists (fun f -> Simplex.subset s f) t.facets
 
+(* Streaming closure kernel: every nonempty face of the complex,
+   exactly once, without materializing per-facet face lists. When the
+   closure cache is already populated we fold over it (cheaper and, for
+   callers like [vertices], the Set order is already what they expect);
+   otherwise the facets stream through {!Simplex.fold_distinct_faces}
+   with one shared dedup table, constructing a simplex only when [f]
+   forces [face]. Enumeration order is unspecified either way. *)
+let fold_faces ?(min_card = 1) ?(max_card = max_int) t ~init ~f =
+  match t.closure_cache with
+  | Some c ->
+    Simplex.Set.fold
+      (fun s acc ->
+        let card = Simplex.card s in
+        if card >= min_card && card <= max_card then
+          f acc ~card ~face:(fun () -> s)
+        else acc)
+      c init
+  | None ->
+    let seen =
+      Simplex.Face_set.create
+        ~size:(max 1024 (8 * Simplex.Set.cardinal t.facets))
+        ()
+    in
+    Simplex.Set.fold
+      (fun facet acc ->
+        Simplex.fold_distinct_faces ~seen ~min_card ~max_card facet ~init:acc
+          ~f)
+      t.facets init
+
+let iter_faces ?min_card ?max_card t ~f =
+  fold_faces ?min_card ?max_card t ~init:() ~f:(fun () ~card ~face ->
+      f ~card ~face)
+
 let closure_set t =
   match t.closure_cache with
   | Some c -> c
   | None ->
     let c =
-      Simplex.Set.fold
-        (fun f acc ->
-          List.fold_left
-            (fun acc face -> Simplex.Set.add face acc)
-            acc (Simplex.faces f))
-        t.facets Simplex.Set.empty
+      fold_faces t ~init:Simplex.Set.empty ~f:(fun acc ~card:_ ~face ->
+          Simplex.Set.add (face ()) acc)
     in
     t.closure_cache <- Some c;
     c
 
 let all_simplices t = Simplex.Set.elements (closure_set t)
-let simplex_count t = Simplex.Set.cardinal (closure_set t)
+
+(* Counting never forces [face]: with a cold cache this is pure
+   submask/dedup arithmetic over interned ids, and deliberately does
+   not populate the closure cache. *)
+let simplex_count t =
+  match t.closure_cache with
+  | Some c -> Simplex.Set.cardinal c
+  | None -> fold_faces t ~init:0 ~f:(fun acc ~card:_ ~face:_ -> acc + 1)
 
 let vertices t =
   all_simplices t
@@ -89,11 +125,29 @@ let is_pure_of_dim d t =
   && dimension t = d
   && Simplex.Set.for_all (fun f -> Simplex.dim f = d) t.facets
 
+(* The k-skeleton's facets are the card-(k+1) faces of the too-big
+   facets plus the already-small facets, so only that slice of the
+   closure is enumerated — not the whole face lattice. *)
 let skeleton k t =
-  let gens =
-    all_simplices t |> List.filter (fun s -> Simplex.dim s <= k)
-  in
-  of_facets ~n:t.n gens
+  if k < 0 then of_facets ~n:t.n []
+  else if k >= dimension t then t
+  else
+    let small, big =
+      Simplex.Set.partition (fun f -> Simplex.dim f <= k) t.facets
+    in
+    let seen =
+      Simplex.Face_set.create ~size:(max 256 (Simplex.Set.cardinal big)) ()
+    in
+    let gens =
+      Simplex.Set.fold
+        (fun facet acc ->
+          Simplex.fold_distinct_faces ~seen ~min_card:(k + 1) ~max_card:(k + 1)
+            facet ~init:acc
+            ~f:(fun acc ~card:_ ~face -> face () :: acc))
+        big
+        (Simplex.Set.elements small)
+    in
+    of_facets ~n:t.n gens
 
 let closure ~n gens = of_facets ~n gens
 
@@ -132,14 +186,15 @@ let restrict_colors colors t =
   in
   of_facets ~n:t.n gens
 
+(* dim even ⟺ card odd; streams when the closure cache is cold, so
+   the alternating sum needs no simplex construction at all. *)
 let euler_characteristic t =
   match t.euler_cache with
   | Some e -> e
   | None ->
     let e =
-      Simplex.Set.fold
-        (fun s acc -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
-        (closure_set t) 0
+      fold_faces t ~init:0 ~f:(fun acc ~card ~face:_ ->
+          if card land 1 = 1 then acc + 1 else acc - 1)
     in
     t.euler_cache <- Some e;
     e

@@ -28,7 +28,34 @@ val all_simplices : t -> Simplex.t list
 (** Every nonempty simplex of the complex (the closure of the facet
     set). Cached after the first call. *)
 
+val fold_faces :
+  ?min_card:int ->
+  ?max_card:int ->
+  t ->
+  init:'a ->
+  f:('a -> card:int -> face:(unit -> Simplex.t) -> 'a) ->
+  'a
+(** Streaming closure kernel: folds [f] over every nonempty face of
+    the complex with [min_card ≤ card ≤ max_card] (defaults: all),
+    each exactly once, without materializing an intermediate complex
+    or per-facet face lists. [face] is lazy — forcing it builds (or
+    retrieves) the interned simplex; a counting fold that ignores it
+    allocates no simplices. Folds over the cached closure instead when
+    one is already present. Enumeration order is unspecified. *)
+
+val iter_faces :
+  ?min_card:int ->
+  ?max_card:int ->
+  t ->
+  f:(card:int -> face:(unit -> Simplex.t) -> unit) ->
+  unit
+(** {!fold_faces} with a unit accumulator. *)
+
 val simplex_count : t -> int
+(** Number of nonempty simplices of the complex. Streams via
+    {!fold_faces} when the closure is not cached (and does not
+    populate the cache); use {!all_simplices} first to force it. *)
+
 val vertices : t -> Vertex.t list
 val dimension : t -> int
 (** Max facet dimension; −1 for the empty complex. *)
@@ -39,7 +66,8 @@ val is_pure : t -> bool
 val is_pure_of_dim : int -> t -> bool
 
 val skeleton : int -> t -> t
-(** [skeleton k c]: sub-complex of simplices of dimension ≤ k. *)
+(** [skeleton k c]: sub-complex of simplices of dimension ≤ k.
+    Streams only the dimension-[k] slice of the closure. *)
 
 val closure : n:int -> Simplex.t list -> t
 (** [Cl(S)]: the complex of all faces of the given simplices — same as
@@ -60,7 +88,9 @@ val restrict_colors : Pset.t -> t -> t
     [Chr^ℓ(σ)]; for an affine task [L] it computes [∆(σ) = L ∩ Chr^ℓ(σ)]. *)
 
 val euler_characteristic : t -> int
-(** Σ (−1)^dim over all simplices. 1 for any [Chr^m s] (contractible). *)
+(** Σ (−1)^dim over all simplices. 1 for any [Chr^m s] (contractible).
+    Streams via {!fold_faces} when the closure is not cached; the
+    result is cached either way. *)
 
 val filter_facets : (Simplex.t -> bool) -> t -> t
 val union : t -> t -> t

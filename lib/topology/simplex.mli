@@ -70,6 +70,36 @@ val proper_faces : t -> t list
 val subsimplices : t -> t list
 (** All faces including the empty one (first). *)
 
+module Face_set : sig
+  type t
+  (** Mutable set of face keys (sorted interned-id arrays): the dedup
+      state threaded through {!fold_distinct_faces}. Open-addressed,
+      single hash-and-probe per candidate — the hot loop of the
+      streaming closure kernels. *)
+
+  val create : ?size:int -> unit -> t
+  (** [size] is the expected number of distinct faces (the table
+      starts at twice that, rounded up to a power of two, and grows as
+      needed). *)
+end
+
+val fold_distinct_faces :
+  seen:Face_set.t ->
+  ?min_card:int ->
+  ?max_card:int ->
+  t ->
+  init:'a ->
+  f:('a -> card:int -> face:(unit -> t) -> 'a) ->
+  'a
+(** Streaming face enumeration: folds [f] over every nonempty face of
+    the simplex with [min_card ≤ card ≤ max_card] (defaults: all)
+    whose interned-id key is not yet in [seen], adding each emitted
+    key to [seen]. Passing the same [seen] set across the facets of a
+    complex therefore enumerates each face of the complex exactly
+    once, with no intermediate face lists; [face] is lazy, so pure
+    counting never constructs a simplex. Enumeration order within and
+    across simplices is unspecified. *)
+
 val carrier : t -> t
 (** For a simplex of [Chr K], its carrier in [K]: the union of the
     carriers of its vertices (by containment, the largest one). For a

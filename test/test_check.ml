@@ -417,6 +417,82 @@ let test_schedules_independent_of_domains () =
   Parallel.set_default_domains saved;
   check_bool "identical under 1 vs 4 domains" true (at1 = at4)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration: bit-identical to the sequential engine        *)
+(* ------------------------------------------------------------------ *)
+
+let is_fingerprint ~domains n =
+  let stats, parts = Harness.explore_immediate_snapshot ~domains ~n () in
+  ( stats.Explore.runs,
+    stats.Explore.truncated,
+    stats.Explore.pruned,
+    stats.Explore.crash_patterns,
+    stats.Explore.exhausted,
+    List.map (Format.asprintf "%a" Opart.pp) parts )
+
+let test_explore_parallel_is_identical () =
+  (* The work-stealing fan-out must not change a single count: runs,
+     pruned prefixes, crash patterns and the recovered partitions are
+     bit-identical whatever the domain count. *)
+  List.iter
+    (fun n ->
+      let seq = is_fingerprint ~domains:1 n in
+      List.iter
+        (fun d ->
+          check_bool
+            (Printf.sprintf "IS n=%d identical at %d domains" n d)
+            true
+            (is_fingerprint ~domains:d n = seq))
+        [ 2; 4 ])
+    [ 2; 3 ]
+
+let test_explore_parallel_alg1_identical () =
+  let alpha = Agreement.of_adversary (Adversary.wait_free 2) in
+  let fingerprint domains =
+    let stats =
+      Harness.explore_algorithm1 ~domains ~alpha ~participants:(Pset.full 2)
+        ()
+    in
+    ( stats.Explore.runs,
+      stats.Explore.truncated,
+      stats.Explore.pruned,
+      stats.Explore.crash_patterns,
+      List.length stats.Explore.violations,
+      stats.Explore.exhausted )
+  in
+  let seq = fingerprint 1 in
+  List.iter
+    (fun d ->
+      check_bool
+        (Printf.sprintf "Alg1 n=2 identical at %d domains" d)
+        true
+        (fingerprint d = seq))
+    [ 2; 4 ]
+
+let test_explore_parallel_counterexample () =
+  (* stop_on_violation keeps the lowest subtree's first violation, so
+     the counterexample — and therefore its shrink — is the sequential
+     one under any fan-out. *)
+  let shrunk_at domains =
+    let stats =
+      Harness.explore_algorithm1 ~skip_wait:true ~domains ~alpha:alpha_1of2
+        ~participants:(Pset.full 2) ~max_depth:48 ~stop_on_violation:true ()
+    in
+    match stats.Explore.violations with
+    | [] -> Alcotest.fail "no counterexample found for skip_wait"
+    | v :: _ ->
+      Trace.to_string
+        (Minimize.shrink ~procs:skip_wait_procs ~fails:skip_wait_fails
+           v.Explore.trace)
+  in
+  let seq = shrunk_at 1 in
+  List.iter
+    (fun d ->
+      check_str
+        (Printf.sprintf "shrunk counterexample identical at %d domains" d)
+        seq (shrunk_at d))
+    [ 2; 4 ]
+
 let suite =
   [
     ("trace: round-trip", `Quick, test_trace_roundtrip);
@@ -441,4 +517,7 @@ let suite =
     ("determinism: Schedule.random per seed", `Quick, test_schedule_random_deterministic);
     ("determinism: Schedule.alpha_model per seed", `Quick, test_schedule_alpha_model_deterministic);
     ("determinism: independent of FACT_DOMAINS", `Quick, test_schedules_independent_of_domains);
+    ("parallel explore: IS counts identical at 1/2/4 domains", `Slow, test_explore_parallel_is_identical);
+    ("parallel explore: Alg1 counts identical at 1/2/4 domains", `Slow, test_explore_parallel_alg1_identical);
+    ("parallel explore: identical shrunk counterexample", `Slow, test_explore_parallel_counterexample);
   ]

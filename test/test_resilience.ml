@@ -394,6 +394,39 @@ let test_explore_cancellation_flushes () =
   stats_agree "after cancel" base resumed;
   check "partitions" (List.length base_parts) (List.length parts)
 
+let test_checkpoint_resume_parallel () =
+  (* Pooled exploration: cancel mid-search at 4 domains, round-trip
+     the Par snapshot through the textual format, resume under the
+     pool — final stats bit-identical to an uninterrupted run. *)
+  let last = ref None in
+  let t = Cancel.create ~trip_after:12 () in
+  (match
+     Cancel.with_token t (fun () ->
+         Harness.explore_immediate_snapshot ~domains:4 ~checkpoint_every:5
+           ~on_checkpoint:(fun ck -> last := Some ck)
+           ~n:3 ())
+   with
+  | _ -> Alcotest.fail "expected cancellation"
+  | exception Fact_error.Error (Fact_error.Cancelled _) -> ());
+  let ck = Option.get !last in
+  let ck =
+    match Checkpoint.of_string (Checkpoint.to_string ck) with
+    | Ok ck' ->
+      Alcotest.(check string)
+        "Par snapshot round-trip" (Checkpoint.to_string ck)
+        (Checkpoint.to_string ck');
+      ck'
+    | Error e -> Alcotest.failf "checkpoint parse: %s" e
+  in
+  let base, base_parts = Harness.explore_immediate_snapshot ~n:3 () in
+  let resumed, parts =
+    Harness.explore_immediate_snapshot ~resume:ck ~domains:4 ~n:3 ()
+  in
+  stats_agree "parallel resume" base resumed;
+  check "partitions" (List.length base_parts) (List.length parts);
+  check_bool "same partitions" true
+    (List.for_all2 Opart.equal base_parts parts)
+
 (* ------------------------------------------------------------------ *)
 (* Chaos                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -405,7 +438,8 @@ let test_chaos () =
   check_bool "every kind exercised" true
     (stats.Chaos.worker_crash > 0
     && stats.Chaos.worker_transient > 0
-    && stats.Chaos.evictions > 0);
+    && stats.Chaos.evictions > 0
+    && stats.Chaos.explore_storms > 0);
   check_bool "typed errors observed" true (stats.Chaos.typed_errors > 0);
   check_bool "completions observed" true (stats.Chaos.completed > 0)
 
@@ -458,6 +492,8 @@ let suite =
     Alcotest.test_case "checkpoint mismatch" `Quick test_checkpoint_mismatch;
     Alcotest.test_case "cancellation flushes checkpoint" `Quick
       test_explore_cancellation_flushes;
+    Alcotest.test_case "checkpoint/resume under the pool" `Slow
+      test_checkpoint_resume_parallel;
     Alcotest.test_case "chaos storm" `Slow test_chaos;
     Alcotest.test_case "R_A cancellation" `Quick test_ra_cancellation;
   ]

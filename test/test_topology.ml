@@ -227,6 +227,67 @@ let test_chr_carrier_composition () =
       check_bool "carrier composes" true (Pset.equal direct via))
     (Complex.facets chr2)
 
+let test_streaming_closure_kernel () =
+  (* The streaming face kernel must agree with the materialized
+     closure on cold complexes: same face set, count, Euler
+     characteristic and skeletons, each face emitted exactly once. *)
+  List.iter
+    (fun n ->
+      let cold () =
+        Complex.of_facets ~n (Complex.facets (Chr.standard_iterated ~m:2 ~n))
+      in
+      let reference = Simplex.Set.of_list (Complex.all_simplices (cold ())) in
+      let streamed, emissions =
+        Complex.fold_faces (cold ()) ~init:(Simplex.Set.empty, 0)
+          ~f:(fun (acc, k) ~card:_ ~face ->
+            (Simplex.Set.add (face ()) acc, k + 1))
+      in
+      check_bool
+        (Printf.sprintf "streamed faces = closure (n=%d)" n)
+        true
+        (Simplex.Set.equal streamed reference);
+      check
+        (Printf.sprintf "each face exactly once (n=%d)" n)
+        (Simplex.Set.cardinal reference)
+        emissions;
+      check
+        (Printf.sprintf "streaming count (n=%d)" n)
+        (Simplex.Set.cardinal reference)
+        (Complex.simplex_count (cold ()));
+      let euler_ref =
+        Simplex.Set.fold
+          (fun s acc -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
+          reference 0
+      in
+      check
+        (Printf.sprintf "streaming euler (n=%d)" n)
+        euler_ref
+        (Complex.euler_characteristic (cold ()));
+      (* card slice: dimension-1 faces only *)
+      let edges_ref =
+        Simplex.Set.cardinal (Simplex.Set.filter (fun s -> Simplex.dim s = 1) reference)
+      in
+      check
+        (Printf.sprintf "card slice (n=%d)" n)
+        edges_ref
+        (Complex.fold_faces ~min_card:2 ~max_card:2 (cold ()) ~init:0
+           ~f:(fun acc ~card:_ ~face:_ -> acc + 1));
+      (* skeletons match the filtered-closure construction *)
+      List.iter
+        (fun k ->
+          let skel_ref =
+            Complex.of_facets ~n
+              (List.filter
+                 (fun s -> Simplex.dim s <= k)
+                 (Complex.all_simplices (cold ())))
+          in
+          check_bool
+            (Printf.sprintf "skeleton %d (n=%d)" k n)
+            true
+            (Complex.equal (Complex.skeleton k (cold ())) skel_ref))
+        [ 0; 1; 2 ])
+    [ 2; 3 ]
+
 let test_restrict_colors () =
   (* Chr(∂-face) appears as the restriction of Chr s to the face's
      colors: for a 1-face it is a path of 3 edges (3 facets). *)
@@ -577,6 +638,8 @@ let suite =
     ("carriers", `Quick, test_chr_carrier);
     ("carrier composition", `Quick, test_chr_carrier_composition);
     ("restrict to face colors", `Quick, test_restrict_colors);
+    ("streaming closure kernel = materialized closure", `Quick,
+     test_streaming_closure_kernel);
     ("skeleton, star, pure complement", `Quick, test_skeleton_star_pc);
     ("complex mem/union/subcomplex", `Quick, test_complex_mem_union);
     ("simplex duplicate vertex rejected", `Quick, test_simplex_duplicate_vertex);
