@@ -7,6 +7,7 @@
      solve     decide k-set-consensus solvability from R_A iterations
      chr       print statistics of Chr^m s
      explore   model-check a protocol over all interleavings (lib/check)
+     assert    list built-in trace assertions and seeded mutants
      chaos     inject faults into the resilience layer and audit it
      census    classify every adversary over n processes
      serve     long-lived query server (dedup, batching, warm store)
@@ -260,8 +261,28 @@ let load_checkpoint file =
   | Ok ck -> ck
   | Error msg -> failwith msg (* already names the file *)
 
-let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
-    checkpoint_every resume_file domains n preset live_sets =
+(* --assert SPEC resolves, in order: a built-in name for the protocol
+   (see [fact assert list]), a file holding an assertion s-expression,
+   or an inline s-expression. *)
+let assertion_of ~protocol ~n spec =
+  match Harness.builtin ~protocol spec with
+  | Some b -> b.Harness.b_assertion ~n
+  | None ->
+    let text =
+      if Sys.file_exists spec then (
+        let ic = open_in spec in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)))
+      else spec
+    in
+    (match Assertion.of_string (String.trim text) with
+    | Ok a -> a
+    | Error msg -> failwith (Printf.sprintf "--assert %s: %s" spec msg))
+
+let explore protocol max_depth max_runs max_crashes skip_wait assert_spec
+    mutate agreement_k stop_on_violation checkpoint_file checkpoint_every
+    resume_file domains n preset live_sets =
   let participants = Pset.full n in
   let resume = Option.map load_checkpoint resume_file in
   let on_checkpoint =
@@ -270,16 +291,51 @@ let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
   let checkpoint_every =
     if checkpoint_file = None then 0 else checkpoint_every
   in
+  let assertion = Option.map (assertion_of ~protocol ~n) assert_spec in
+  let bad_mutant m =
+    failwith
+      (Printf.sprintf "unknown %s mutant %S (see fact assert list)" protocol m)
+  in
+  (* Shared violation reporting: shrink assertion-aware, confirm the
+     shrunk trace by a standalone replay, print it replayable. *)
+  let report_violations :
+      'r. subject:(unit -> 'r Subject.t) -> 'r Explore.outcome list ->
+      ok:string -> unit =
+   fun ~subject violations ~ok ->
+    match violations with
+    | [] -> pf "%s@." ok
+    | v :: _ ->
+      let truncated = v.Explore.truncated in
+      let shrunk = Minimize.shrink_subject ~truncated ~subject v.Explore.trace in
+      (match Replay.check ~truncated ~subject shrunk with
+      | Error msg -> pf "violation! %s@." msg
+      | Ok () -> pf "violation (does not replay standalone?)@.");
+      pf "counterexample (%d decisions, shrunk to %d):@."
+        (Trace.length v.Explore.trace)
+        (Trace.length shrunk);
+      pf "%a@." Trace.pp shrunk;
+      exit 1
+  in
   match protocol with
   | "is" ->
+    let mutation =
+      match mutate with
+      | None -> None
+      | Some "split-snapshot" -> Some Harness.Split_snapshot
+      | Some m -> bad_mutant m
+    in
     let stats, parts =
-      Harness.explore_immediate_snapshot ~max_depth ~max_runs ?resume
-        ~checkpoint_every ?on_checkpoint ?domains ~n ()
+      Harness.explore_immediate_snapshot ~max_depth ~max_runs ?mutation
+        ?assertion ~stop_on_violation ?resume ~checkpoint_every ?on_checkpoint
+        ?domains ~n ()
     in
     pf "one-shot IS, n=%d: %a@." n Explore.pp_stats stats;
     pf "distinct ordered partitions: %d (fubini %d = %d)@."
       (List.length parts) n (Opart.fubini n);
-    if stats.Explore.violations <> [] then exit 1
+    report_violations
+      ~subject:(Harness.is_subject ?mutation ?assertion ~n ())
+      stats.Explore.violations
+      ~ok:"no violation: every run yields a valid ordered partition"
   | "alg1" ->
     let adv =
       match (preset, live_sets) with
@@ -289,29 +345,44 @@ let explore protocol max_depth max_runs max_crashes skip_wait checkpoint_file
     let alpha = Agreement.of_adversary adv in
     pf "adversary: %a@." Adversary.pp adv;
     if skip_wait then pf "ablation: wait phase disabled@.";
+    let mutation =
+      match mutate with
+      | None -> None
+      | Some "skip-wait" -> Some Algorithm1.Skip_wait
+      | Some "drop-second-snapshot" -> Some Algorithm1.Drop_second_snapshot
+      | Some "biased-view" -> Some Algorithm1.Biased_view
+      | Some m -> bad_mutant m
+    in
     let stats =
-      Harness.explore_algorithm1 ~skip_wait ?max_crashes ~max_depth
-        ~max_runs ?resume ~checkpoint_every ?on_checkpoint ?domains ~alpha
-        ~participants ()
+      Harness.explore_algorithm1 ~skip_wait ?mutation ?assertion ?max_crashes
+        ~max_depth ~max_runs ~stop_on_violation ?resume ~checkpoint_every
+        ?on_checkpoint ?domains ~alpha ~participants ()
     in
     pf "Algorithm 1, n=%d: %a@." n Explore.pp_stats stats;
-    (match stats.Explore.violations with
-    | [] -> pf "no violation: all explored runs land in R_A@."
-    | v :: _ ->
-      let ra = Ra.complex alpha ~n in
-      let procs () =
-        let inst = Algorithm1.create_instance ~n in
-        Array.init n (fun _ pid ->
-            Algorithm1.process ~skip_wait inst alpha ~pid)
-      in
-      let fails r = not (Harness.alg1_prop ~ra r) in
-      let shrunk = Minimize.shrink ~procs ~fails v.Explore.trace in
-      pf "violation! counterexample (%d decisions, shrunk to %d):@."
-        (Trace.length v.Explore.trace)
-        (Trace.length shrunk);
-      pf "%a@." Trace.pp shrunk;
-      exit 1)
-  | p -> failwith ("unknown protocol " ^ p ^ " (alg1 | is)")
+    report_violations
+      ~subject:
+        (Harness.alg1_subject ~skip_wait ?mutation ?assertion ~alpha
+           ~participants ())
+      stats.Explore.violations
+      ~ok:"no violation: all explored runs land in R_A"
+  | "wsmin" ->
+    let mutation =
+      match mutate with
+      | None -> None
+      | Some "biased-decision" -> Some Harness.Biased_decision
+      | Some m -> bad_mutant m
+    in
+    let stats =
+      Harness.explore_snapmin ?mutation ?k:agreement_k ?assertion ~max_depth
+        ~max_runs ~stop_on_violation ?resume ~checkpoint_every ?on_checkpoint
+        ?domains ~n ()
+    in
+    pf "write-snapshot-min, n=%d: %a@." n Explore.pp_stats stats;
+    report_violations
+      ~subject:(Harness.wsmin_subject ?mutation ?k:agreement_k ?assertion ~n ())
+      stats.Explore.violations
+      ~ok:"no violation: validity, agreement and termination hold"
+  | p -> failwith ("unknown protocol " ^ p ^ " (alg1 | is | wsmin)")
 
 let explore_cmd =
   let protocol_arg =
@@ -319,7 +390,38 @@ let explore_cmd =
       value & opt string "alg1"
       & info [ "protocol" ] ~docv:"NAME"
           ~doc:"Protocol to model-check: alg1 (Algorithm 1) | is (one-shot \
-                immediate snapshot).")
+                immediate snapshot) | wsmin (write, snapshot, decide min).")
+  in
+  let assert_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "assert" ] ~docv:"SPEC"
+          ~doc:
+            "Assertion to check on every explored run: a built-in name \
+             (see $(b,fact assert list)), a file holding an assertion \
+             s-expression, or an inline s-expression such as \
+             '(and validity (agreement 1))'. Default: the protocol's \
+             built-in oracle.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Replace the protocol by a seeded broken variant (see \
+             $(b,fact assert list)); the assertions are expected to find \
+             a counterexample.")
+  in
+  let agreement_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "agreement" ] ~docv:"K"
+          ~doc:
+            "Agreement bound of the wsmin default assertion (default: n). \
+             K = 1 asks for consensus and yields a counterexample.")
   in
   let max_depth_arg =
     Arg.(
@@ -344,6 +446,16 @@ let explore_cmd =
       & info [ "skip-wait" ]
           ~doc:"Ablation: drop Algorithm 1's wait phase (lines 6-9); the \
                 explorer then finds runs escaping R_A.")
+  in
+  let stop_arg =
+    Arg.(
+      value & flag
+      & info [ "stop-on-violation" ]
+          ~doc:
+            "Stop the search at the first violating run instead of \
+             exploring the whole tree; with --domains the leftmost \
+             violation is kept, so the reported counterexample matches \
+             the sequential one.")
   in
   let checkpoint_file_arg =
     Arg.(
@@ -388,16 +500,46 @@ let explore_cmd =
           adversary defaults to wait-free.")
     Term.(
       const (fun timeout protocol max_depth max_runs max_crashes skip_wait
-                 checkpoint_file checkpoint_every resume_file domains n preset
-                 live ->
+                 assert_spec mutate agreement stop checkpoint_file
+                 checkpoint_every resume_file domains n preset live ->
           guarded timeout (fun () ->
               explore protocol max_depth max_runs max_crashes skip_wait
-                checkpoint_file checkpoint_every resume_file domains n preset
-                live))
+                assert_spec mutate agreement stop checkpoint_file
+                checkpoint_every resume_file domains n preset live))
       $ timeout_arg $ protocol_arg $ max_depth_arg $ max_runs_arg
-      $ max_crashes_arg $ skip_wait_arg $ checkpoint_file_arg
-      $ checkpoint_every_arg $ resume_arg $ domains_arg $ n_arg $ preset_arg
-      $ live_arg)
+      $ max_crashes_arg $ skip_wait_arg $ assert_arg $ mutate_arg
+      $ agreement_arg $ stop_arg $ checkpoint_file_arg $ checkpoint_every_arg
+      $ resume_arg $ domains_arg $ n_arg $ preset_arg $ live_arg)
+
+(* ----------------------------- assert ----------------------------- *)
+
+let assert_list () =
+  pf "built-in assertions (fact explore --assert NAME):@.";
+  List.iter
+    (fun (b : Harness.builtin) ->
+      pf "  %-6s %-14s %s@." b.Harness.b_protocol b.b_name b.b_doc)
+    Harness.builtins;
+  pf "@.seeded mutants (fact explore --mutate NAME):@.";
+  List.iter
+    (fun (s : Mutant.spec) ->
+      pf "  %-6s %-22s n=%d  caught by %s: %s@." s.Mutant.m_protocol s.m_name
+        s.m_n s.m_caught_by s.m_doc)
+    Mutant.all
+
+let assert_cmd =
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:"List the built-in assertions and the seeded mutants.")
+      Term.(const (fun () -> assert_list ()) $ const ())
+  in
+  Cmd.group
+    (Cmd.info "assert"
+       ~doc:
+         "Inspect the declarative assertion registry: built-in trace \
+          assertions per protocol and the seeded mutants they are \
+          mutation-tested against.")
+    [ list_cmd ]
 
 (* ----------------------------- chaos ------------------------------ *)
 
@@ -662,5 +804,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
-            explore_cmd; chaos_cmd; census_cmd; serve_cmd; client_cmd;
-            ra_cmd ]))
+            explore_cmd; assert_cmd; chaos_cmd; census_cmd; serve_cmd;
+            client_cmd; ra_cmd ]))

@@ -10,6 +10,7 @@ type stats = {
   cancellations : int;
   evictions : int;
   explore_storms : int;
+  assertion_sweeps : int;
   typed_errors : int;
   completed : int;
   violations : string list;
@@ -29,6 +30,7 @@ let run ?(seed = 0) ~max_faults () =
   let cancellations = ref 0 in
   let evictions = ref 0 in
   let explore_storms = ref 0 in
+  let assertion_sweeps = ref 0 in
   let typed_errors = ref 0 in
   let completed = ref 0 in
   let violations = ref [] in
@@ -71,7 +73,7 @@ let run ?(seed = 0) ~max_faults () =
      eviction is audited. *)
   Cache.set_check true;
   for _ = 1 to max_faults do
-    match Random.State.int rng 5 with
+    match Random.State.int rng 6 with
     | 0 -> (
       (* Deterministic worker crash: must aggregate to Worker_failure
          and leave the fan-out reusable. *)
@@ -188,6 +190,18 @@ let run ?(seed = 0) ~max_faults () =
           && List.for_all2 Opart.equal parts parts_ref
         then incr completed
         else violation "explore storm: resumed stats differ from reference")
+    | 4 -> (
+      (* Assertion sweep: a random seeded mutant must still be caught
+         by the DSL, with a shrunk counterexample that replays
+         standalone. A surviving mutant means the assertion suite lost
+         its teeth. *)
+      incr assertion_sweeps;
+      let spec =
+        List.nth Mutant.all (Random.State.int rng (List.length Mutant.all))
+      in
+      match Mutant.hunt ~max_runs:20_000 spec with
+      | Ok _ -> incr completed
+      | Error msg -> violation "assertion sweep: %s" msg)
     | _ ->
       (* Forced eviction under recompute-equality checking: the
          recomputed pipeline must match; a cache that recomputes a
@@ -206,6 +220,7 @@ let run ?(seed = 0) ~max_faults () =
     cancellations = !cancellations;
     evictions = !evictions;
     explore_storms = !explore_storms;
+    assertion_sweeps = !assertion_sweeps;
     typed_errors = !typed_errors;
     completed = !completed;
     violations = List.rev !violations;
@@ -214,8 +229,8 @@ let run ?(seed = 0) ~max_faults () =
 let pp_stats ppf s =
   Format.fprintf ppf
     "injected %d (worker crash %d, transient %d, cancel trips %d, \
-     evictions %d, explore storms %d) typed errors %d completed %d \
-     violations %d"
+     evictions %d, explore storms %d, assertion sweeps %d) typed errors \
+     %d completed %d violations %d"
     s.injected s.worker_crash s.worker_transient s.cancellations s.evictions
-    s.explore_storms s.typed_errors s.completed
+    s.explore_storms s.assertion_sweeps s.typed_errors s.completed
     (List.length s.violations)

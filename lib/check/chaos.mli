@@ -21,6 +21,11 @@
       mid-search; the snapshot flushed on the trip is resumed
       fault-free and the resumed stats and partitions must be
       bit-identical to the uninterrupted reference.
+    - {b assertion sweep}: a random seeded {!Mutant} is hunted with
+      the assertion DSL as a fault-campaign dimension — the mutant
+      must still be caught, and its shrunk counterexample must replay
+      standalone; a surviving mutant is a violation (the assertions
+      lost their teeth).
     - {b forced eviction}: with recompute-equality checking on, all
       bounded caches are flushed mid-pipeline and the recomputed
       [R_A] must equal the reference (a mismatch raises from the cache
@@ -36,6 +41,7 @@ type stats = {
   cancellations : int;    (** cancel faults that actually tripped *)
   evictions : int;
   explore_storms : int;   (** cancel-and-resume exploration faults *)
+  assertion_sweeps : int; (** mutant hunts via the assertion DSL *)
   typed_errors : int;     (** faults surfacing as typed [Fact_error] *)
   completed : int;        (** faults absorbed with correct results *)
   violations : string list;  (** invariant failures, oldest first *)

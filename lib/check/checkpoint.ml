@@ -20,6 +20,21 @@ let frontier_sx fr = Sexp.List (List.map frontier_entry_sx fr)
 let part_sx part =
   Sexp.List (List.map (fun b -> ints_sx (Pset.to_list b)) (Opart.blocks part))
 
+(* A recorded violating run: its decisions, flagged [cut] when the run
+   hit the depth budget (liveness assertions hold vacuously on replay)
+   and [full] otherwise. The field is omitted when there are no
+   violations, so checkpoints written before assertions existed
+   round-trip byte-identically. *)
+let viol_sx (ds, truncated) =
+  Sexp.List
+    (Sexp.Atom (if truncated then "cut" else "full")
+    :: List.map Trace.sexp_of_decision ds)
+
+let viols_field viols =
+  if viols = [] then []
+  else
+    [ Sexp.List [ Sexp.Atom "violations"; Sexp.List (List.map viol_sx viols) ] ]
+
 (* Sequential snapshots keep the original (PR 3) field layout, so
    checkpoint files written before parallel exploration existed still
    load, and single-DFS checkpoints round-trip byte-identically against
@@ -30,28 +45,30 @@ let progress_sx = function
   | Explore.Todo -> Sexp.Atom "todo"
   | Explore.Done t ->
     Sexp.List
-      [
-        Sexp.Atom "done";
-        Sexp.List [ Sexp.Atom "runs"; Sexp.int t.Explore.t_runs ];
-        Sexp.List [ Sexp.Atom "truncated"; Sexp.int t.t_truncated ];
-        Sexp.List [ Sexp.Atom "pruned"; Sexp.int t.t_pruned ];
-        Sexp.List [ Sexp.Atom "patterns"; ints_sx t.t_patterns ];
-        Sexp.List
-          [
-            Sexp.Atom "exhausted";
-            Sexp.Atom (if t.t_exhausted then "true" else "false");
-          ];
-      ]
+      ([
+         Sexp.Atom "done";
+         Sexp.List [ Sexp.Atom "runs"; Sexp.int t.Explore.t_runs ];
+         Sexp.List [ Sexp.Atom "truncated"; Sexp.int t.t_truncated ];
+         Sexp.List [ Sexp.Atom "pruned"; Sexp.int t.t_pruned ];
+         Sexp.List [ Sexp.Atom "patterns"; ints_sx t.t_patterns ];
+         Sexp.List
+           [
+             Sexp.Atom "exhausted";
+             Sexp.Atom (if t.t_exhausted then "true" else "false");
+           ];
+       ]
+      @ viols_field t.t_viol)
   | Explore.Active ck ->
     Sexp.List
-      [
-        Sexp.Atom "active";
-        Sexp.List [ Sexp.Atom "runs"; Sexp.int ck.Explore.ck_runs ];
-        Sexp.List [ Sexp.Atom "truncated"; Sexp.int ck.ck_truncated ];
-        Sexp.List [ Sexp.Atom "pruned"; Sexp.int ck.ck_pruned ];
-        Sexp.List [ Sexp.Atom "patterns"; ints_sx ck.ck_patterns ];
-        Sexp.List [ Sexp.Atom "frontier"; frontier_sx ck.frontier ];
-      ]
+      ([
+         Sexp.Atom "active";
+         Sexp.List [ Sexp.Atom "runs"; Sexp.int ck.Explore.ck_runs ];
+         Sexp.List [ Sexp.Atom "truncated"; Sexp.int ck.ck_truncated ];
+         Sexp.List [ Sexp.Atom "pruned"; Sexp.int ck.ck_pruned ];
+         Sexp.List [ Sexp.Atom "patterns"; ints_sx ck.ck_patterns ];
+         Sexp.List [ Sexp.Atom "frontier"; frontier_sx ck.frontier ];
+       ]
+      @ viols_field ck.ck_viol)
 
 let subtree_sx st =
   Sexp.List
@@ -78,6 +95,7 @@ let to_sexp t =
         Sexp.List [ Sexp.Atom "patterns"; ints_sx ck.ck_patterns ];
         Sexp.List [ Sexp.Atom "frontier"; frontier_sx ck.frontier ];
       ]
+      @ viols_field ck.ck_viol
     | Explore.Par subs ->
       [ Sexp.List [ Sexp.Atom "subtrees"; Sexp.List (List.map subtree_sx subs) ] ]
   in
@@ -88,6 +106,31 @@ let to_string t = Sexp.to_string (to_sexp t)
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
 
+(* Tolerant field access over a list of (key value) pairs: fields may
+   gain optional members (like [violations]) without breaking old
+   readers, and old files without them still parse. *)
+let field name fields =
+  List.find_map
+    (function
+      | Sexp.List [ Sexp.Atom k; v ] when k = name -> Some v
+      | _ -> None)
+    fields
+
+let req name fields =
+  match field name fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field (%s ...)" name)
+
+let req_int name fields =
+  let* v = req name fields in
+  Sexp.to_int v
+
+let req_ints name fields =
+  let* v = req name fields in
+  match v with
+  | Sexp.List is -> Sexp.map_result Sexp.to_int is
+  | Sexp.Atom _ -> Error (Printf.sprintf "field %s: expected a list" name)
+
 let entry_of_sexp = function
   | Sexp.List [ d_sx; Sexp.List done_sx ] ->
     let* d = Trace.decision_of_sexp d_sx in
@@ -95,58 +138,62 @@ let entry_of_sexp = function
     Ok (d, dn)
   | _ -> Error "bad frontier entry: expected (decision (decisions))"
 
+let req_frontier name fields =
+  let* v = req name fields in
+  match v with
+  | Sexp.List fr -> Sexp.map_result entry_of_sexp fr
+  | Sexp.Atom _ -> Error (Printf.sprintf "field %s: expected a list" name)
+
 let bool_of_sexp = function
   | Sexp.Atom "true" -> Ok true
   | Sexp.Atom "false" -> Ok false
   | _ -> Error "bad boolean: expected true or false"
 
+let viol_of_sexp = function
+  | Sexp.List (Sexp.Atom (("full" | "cut") as flag) :: ds) ->
+    let* ds = Sexp.map_result Trace.decision_of_sexp ds in
+    Ok (ds, flag = "cut")
+  | _ -> Error "bad violation: expected (full|cut decisions...)"
+
+let opt_viols fields =
+  match field "violations" fields with
+  | None -> Ok []
+  | Some (Sexp.List vs) -> Sexp.map_result viol_of_sexp vs
+  | Some (Sexp.Atom _) -> Error "field violations: expected a list"
+
 let progress_of_sexp = function
   | Sexp.Atom "todo" -> Ok Explore.Todo
-  | Sexp.List
-      [
-        Sexp.Atom "done";
-        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
-        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
-        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
-        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
-        Sexp.List [ Sexp.Atom "exhausted"; ex_sx ];
-      ] ->
-    let* t_runs = Sexp.to_int runs_sx in
-    let* t_truncated = Sexp.to_int tr_sx in
-    let* t_pruned = Sexp.to_int pr_sx in
-    let* t_patterns = Sexp.map_result Sexp.to_int pat_sx in
+  | Sexp.List (Sexp.Atom "done" :: fields) ->
+    let* t_runs = req_int "runs" fields in
+    let* t_truncated = req_int "truncated" fields in
+    let* t_pruned = req_int "pruned" fields in
+    let* t_patterns = req_ints "patterns" fields in
+    let* ex_sx = req "exhausted" fields in
     let* t_exhausted = bool_of_sexp ex_sx in
+    let* t_viol = opt_viols fields in
     Ok
       (Explore.Done
-         { Explore.t_runs; t_truncated; t_pruned; t_patterns; t_exhausted })
-  | Sexp.List
-      [
-        Sexp.Atom "active";
-        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
-        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
-        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
-        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
-        Sexp.List [ Sexp.Atom "frontier"; Sexp.List fr_sx ];
-      ] ->
-    let* ck_runs = Sexp.to_int runs_sx in
-    let* ck_truncated = Sexp.to_int tr_sx in
-    let* ck_pruned = Sexp.to_int pr_sx in
-    let* ck_patterns = Sexp.map_result Sexp.to_int pat_sx in
-    let* frontier = Sexp.map_result entry_of_sexp fr_sx in
+         { Explore.t_runs; t_truncated; t_pruned; t_patterns; t_viol;
+           t_exhausted })
+  | Sexp.List (Sexp.Atom "active" :: fields) ->
+    let* ck_runs = req_int "runs" fields in
+    let* ck_truncated = req_int "truncated" fields in
+    let* ck_pruned = req_int "pruned" fields in
+    let* ck_patterns = req_ints "patterns" fields in
+    let* frontier = req_frontier "frontier" fields in
+    let* ck_viol = opt_viols fields in
     Ok
       (Explore.Active
-         { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier })
+         { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; ck_viol;
+           frontier })
   | _ -> Error "bad subtree status: expected todo, (done ...) or (active ...)"
 
 let subtree_of_sexp = function
-  | Sexp.List
-      [
-        Sexp.List [ Sexp.Atom "prefix"; Sexp.List pre_sx ];
-        Sexp.List [ Sexp.Atom "status"; st_sx ];
-      ] ->
-    let* prefix = Sexp.map_result entry_of_sexp pre_sx in
+  | Sexp.List fields ->
+    let* pre_sx = req_frontier "prefix" fields in
+    let* st_sx = req "status" fields in
     let* progress = progress_of_sexp st_sx in
-    Ok { Explore.prefix; progress }
+    Ok { Explore.prefix = pre_sx; progress }
   | _ -> Error "bad subtree: expected ((prefix ...) (status ...))"
 
 let parts_of_sexp opart_sx =
@@ -166,59 +213,38 @@ let parts_of_sexp opart_sx =
   in
   Sexp.map_result opart opart_sx
 
-let of_sexp sx =
-  match sx with
-  | Sexp.List
-      [
-        Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom protocol ];
-        Sexp.List [ Sexp.Atom "n"; n_sx ];
-        Sexp.List [ Sexp.Atom "participants"; Sexp.List parts_sx ];
-        Sexp.List [ Sexp.Atom "runs"; runs_sx ];
-        Sexp.List [ Sexp.Atom "truncated"; tr_sx ];
-        Sexp.List [ Sexp.Atom "pruned"; pr_sx ];
-        Sexp.List [ Sexp.Atom "patterns"; Sexp.List pat_sx ];
-        Sexp.List [ Sexp.Atom "frontier"; Sexp.List fr_sx ];
-        Sexp.List [ Sexp.Atom "parts"; Sexp.List opart_sx ];
-      ] ->
-    let* n = Sexp.to_int n_sx in
-    let* participants = Sexp.map_result Sexp.to_int parts_sx in
-    let* ck_runs = Sexp.to_int runs_sx in
-    let* ck_truncated = Sexp.to_int tr_sx in
-    let* ck_pruned = Sexp.to_int pr_sx in
-    let* ck_patterns = Sexp.map_result Sexp.to_int pat_sx in
-    let* frontier = Sexp.map_result entry_of_sexp fr_sx in
-    let* parts = parts_of_sexp opart_sx in
-    Ok
-      {
-        protocol;
-        n;
-        participants = Pset.of_list participants;
-        state =
-          Explore.Seq
-            { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns; frontier };
-        parts;
-      }
-  | Sexp.List
-      [
-        Sexp.List [ Sexp.Atom "protocol"; Sexp.Atom protocol ];
-        Sexp.List [ Sexp.Atom "n"; n_sx ];
-        Sexp.List [ Sexp.Atom "participants"; Sexp.List parts_sx ];
-        Sexp.List [ Sexp.Atom "subtrees"; Sexp.List subs_sx ];
-        Sexp.List [ Sexp.Atom "parts"; Sexp.List opart_sx ];
-      ] ->
-    let* n = Sexp.to_int n_sx in
-    let* participants = Sexp.map_result Sexp.to_int parts_sx in
-    let* subtrees = Sexp.map_result subtree_of_sexp subs_sx in
-    let* parts = parts_of_sexp opart_sx in
-    Ok
-      {
-        protocol;
-        n;
-        participants = Pset.of_list participants;
-        state = Explore.Par subtrees;
-        parts;
-      }
-  | _ -> Error "malformed checkpoint file"
+let of_sexp = function
+  | Sexp.List fields ->
+    let* proto_sx = req "protocol" fields in
+    let* protocol = Sexp.to_atom proto_sx in
+    let* n = req_int "n" fields in
+    let* participants = req_ints "participants" fields in
+    let* parts =
+      let* v = req "parts" fields in
+      match v with
+      | Sexp.List opart_sx -> parts_of_sexp opart_sx
+      | Sexp.Atom _ -> Error "field parts: expected a list"
+    in
+    let* state =
+      match field "subtrees" fields with
+      | Some (Sexp.List subs_sx) ->
+        let* subtrees = Sexp.map_result subtree_of_sexp subs_sx in
+        Ok (Explore.Par subtrees)
+      | Some (Sexp.Atom _) -> Error "field subtrees: expected a list"
+      | None ->
+        let* ck_runs = req_int "runs" fields in
+        let* ck_truncated = req_int "truncated" fields in
+        let* ck_pruned = req_int "pruned" fields in
+        let* ck_patterns = req_ints "patterns" fields in
+        let* frontier = req_frontier "frontier" fields in
+        let* ck_viol = opt_viols fields in
+        Ok
+          (Explore.Seq
+             { Explore.ck_runs; ck_truncated; ck_pruned; ck_patterns;
+               ck_viol; frontier })
+    in
+    Ok { protocol; n; participants = Pset.of_list participants; state; parts }
+  | Sexp.Atom _ -> Error "malformed checkpoint file"
 
 let of_string s =
   let* sx = Sexp.of_string s in

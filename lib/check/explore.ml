@@ -40,6 +40,11 @@ type checkpoint = {
   ck_truncated : int;
   ck_pruned : int;
   ck_patterns : int list; (* Pset masks of completed runs' faulty sets *)
+  ck_viol : (Trace.decision list * bool) list;
+      (* violating runs so far as (decisions, truncated), oldest first.
+         Only the traces are persisted — never the verdicts: a resume
+         re-evaluates each one by observed replay against the current
+         subject, so checkpoints survive assertion changes. *)
   frontier : (Trace.decision * Trace.decision list) list;
       (* (chosen, done) per depth, outermost first *)
 }
@@ -56,6 +61,7 @@ type tally = {
   t_truncated : int;
   t_pruned : int;
   t_patterns : int list;
+  t_viol : (Trace.decision list * bool) list;
   t_exhausted : bool;
 }
 
@@ -69,7 +75,14 @@ type subtree = {
 type snapshot = Seq of checkpoint | Par of subtree list
 
 let zero_tally =
-  { t_runs = 0; t_truncated = 0; t_pruned = 0; t_patterns = []; t_exhausted = false }
+  {
+    t_runs = 0;
+    t_truncated = 0;
+    t_pruned = 0;
+    t_patterns = [];
+    t_viol = [];
+    t_exhausted = false;
+  }
 
 let tally_of_checkpoint ck =
   {
@@ -77,8 +90,25 @@ let tally_of_checkpoint ck =
     t_truncated = ck.ck_truncated;
     t_pruned = ck.ck_pruned;
     t_patterns = ck.ck_patterns;
+    t_viol = ck.ck_viol;
     t_exhausted = false;
   }
+
+(* Re-establish recorded violating runs against the *current* subject:
+   each persisted trace is replayed (uncounted) with a fresh monitor
+   and kept only if an assertion still fails. Trusting the snapshot
+   verdict instead would let a checkpoint taken under one assertion
+   set poison a resume under another. *)
+let restore_viols ~n ~participants ~subject viols =
+  List.filter_map
+    (fun (ds, truncated) ->
+      let tr = Trace.make ~n ~participants ds in
+      let subj = subject () in
+      let report, verdict = Replay.run_subject ~truncated ~subject:subj tr in
+      match verdict with
+      | Ok () -> None
+      | Error _ -> Some { report; trace = tr; truncated })
+    viols
 
 (* A node of the decision tree, one per depth of the current DFS path.
    [enabled] is fixed at node creation; [chosen] is the decision of the
@@ -129,13 +159,17 @@ type 'r core_result = {
    nothing. *)
 let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
     ~on_execution ~checkpoint_every ~on_checkpoint ~capture ~n ~participants
-    ~procs ~prop () =
+    ~subject () =
   let path : node option array = Array.make cfg.max_depth None in
   let plen = ref 0 in
   let runs = ref base.t_runs in
   let truncated_runs = ref base.t_truncated in
   let pruned = ref base.t_pruned in
-  let violations = ref [] in
+  (* newest first; restored base violations (uncounted re-evaluating
+     replays) come first in trace order *)
+  let violations =
+    ref (List.rev (restore_viols ~n ~participants ~subject base.t_viol))
+  in
   let patterns = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace patterns m ()) base.t_patterns;
   let forced_d = Array.of_list (List.map fst forced) in
@@ -243,10 +277,12 @@ let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
       else false
     in
     let schedule = Schedule.controlled ~n ~participants ~next ~crash_now in
+    let subj : _ Subject.t = subject () in
     let report =
-      Exec.run ~max_steps:(cfg.max_depth + 1) ~schedule (procs ())
+      Exec.run ~max_steps:(cfg.max_depth + 1) ?on_step:subj.Subject.on_step
+        ?on_crash:subj.Subject.on_crash ~schedule subj.Subject.procs
     in
-    (report, !truncated, !blocked)
+    (subj, report, !truncated, !blocked)
   in
 
   (* Move to the next unexplored branch: mark the deepest node's chosen
@@ -291,6 +327,10 @@ let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
       ck_truncated = !truncated_runs;
       ck_pruned = !pruned;
       ck_patterns = Hashtbl.fold (fun m () acc -> m :: acc) patterns [];
+      ck_viol =
+        List.rev_map
+          (fun o -> (Trace.decisions o.trace, o.truncated))
+          !violations;
       frontier =
         (if !forcing then forced
          else
@@ -315,7 +355,7 @@ let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
       checkpoint_every > 0 && !executions > 0
       && !executions mod checkpoint_every = 0
     then on_checkpoint (current_checkpoint ());
-    let report, truncated, blocked = run_once () in
+    let subj, report, truncated, blocked = run_once () in
     forcing := false;
     incr executions;
     (match capture with
@@ -341,10 +381,11 @@ let explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor ~budget
             Hashtbl.add patterns (Pset.to_mask faulty) ()
         end;
         on_run outcome;
-        if not (prop report) then begin
+        (match subj.Subject.check report ~truncated with
+        | Ok () -> ()
+        | Error _ ->
           violations := outcome :: !violations;
-          if stop_on_violation then stop := true
-        end
+          if stop_on_violation then stop := true)
       end;
       if not !stop then
         if not (backtrack ()) then begin
@@ -387,7 +428,7 @@ let expand_children explored =
    Expansion stops once there are enough tasks to keep [domains]
    workers busy (or at a fixed depth cap — beyond it task granularity
    no longer matters, stealing balances the load). *)
-let split_subtrees ~cfg ~domains ~n ~participants ~procs =
+let split_subtrees ~cfg ~domains ~n ~participants ~subject =
   let probe prefix =
     let depth = List.length prefix in
     if depth >= cfg.max_depth then None
@@ -398,8 +439,7 @@ let split_subtrees ~cfg ~domains ~n ~participants ~procs =
            ~base:zero_tally ~forced:prefix ~floor:depth ~budget:1
            ~on_execution:None ~checkpoint_every:0
            ~on_checkpoint:(fun _ -> ())
-           ~capture:(Some (depth, cell)) ~n ~participants ~procs
-           ~prop:(fun _ -> true) ());
+           ~capture:(Some (depth, cell)) ~n ~participants ~subject ());
       !cell
     end
   in
@@ -437,7 +477,7 @@ let split_subtrees ~cfg ~domains ~n ~participants ~procs =
    bit-identical to the sequential engine for any domain count. *)
 type 'r merged_item = M_tally of tally | M_res of 'r core_result
 
-let merge_items items ~cut =
+let merge_items items ~restore ~cut =
   let runs = ref 0 and truncated = ref 0 and pruned = ref 0 in
   let patterns = Hashtbl.create 16 in
   let violations = ref [] in
@@ -447,7 +487,12 @@ let merge_items items ~cut =
       let t_runs, t_trunc, t_pruned, masks, viols, exh =
         match item with
         | M_tally t ->
-          (t.t_runs, t.t_truncated, t.t_pruned, t.t_patterns, [], t.t_exhausted)
+          ( t.t_runs,
+            t.t_truncated,
+            t.t_pruned,
+            t.t_patterns,
+            restore t.t_viol,
+            t.t_exhausted )
         | M_res r ->
           ( r.r_stats.runs,
             r.r_stats.truncated,
@@ -473,7 +518,8 @@ let merge_items items ~cut =
   }
 
 let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
-    ~on_checkpoint ~domains ~subtrees ~n ~participants ~procs ~prop () =
+    ~on_checkpoint ~domains ~subtrees ~n ~participants ~subject () =
+  let restore = restore_viols ~n ~participants ~subject in
   let subs = Array.of_list subtrees in
   let ntasks = Array.length subs in
   let slots = Array.map (fun st -> st.progress) subs in
@@ -510,6 +556,10 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
       t_truncated = r.r_stats.truncated;
       t_pruned = r.r_stats.pruned;
       t_patterns = r.r_patterns;
+      t_viol =
+        List.map
+          (fun o -> (Trace.decisions o.trace, o.truncated))
+          r.r_stats.violations;
       t_exhausted = r.r_stats.exhausted;
     }
   in
@@ -542,7 +592,7 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
         ~budget:cfg.max_runs ~on_execution:(Some on_execution)
         ~checkpoint_every
         ~on_checkpoint:(fun ck -> set_slot i (Active ck) ~emit:true)
-        ~capture:None ~n ~participants ~procs ~prop ()
+        ~capture:None ~n ~participants ~subject ()
     in
     set_slot i (Done (done_tally r)) ~emit:false;
     if stop_on_violation && r.r_stats.violations <> [] then begin
@@ -618,7 +668,7 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
                 explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced
                   ~floor ~budget:!budget ~on_execution:None ~checkpoint_every
                   ~on_checkpoint:(fun ck -> set_slot i (Active ck) ~emit:true)
-                  ~capture:None ~n ~participants ~procs ~prop ()
+                  ~capture:None ~n ~participants ~subject ()
               in
               budget := !budget - r.r_executions;
               set_slot i (Done (done_tally r)) ~emit:false;
@@ -629,7 +679,7 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
               end
             end
       done;
-      merge_items (List.rev !items) ~cut:!cut
+      merge_items (List.rev !items) ~restore ~cut:!cut
     end
     else begin
       let fl = Atomic.get viol_floor in
@@ -645,7 +695,7 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
             | Some (Ok r) -> M_res r
             | Some (Error eb) -> Parallel.reraise eb)
       in
-      merge_items items ~cut
+      merge_items items ~restore ~cut
     end
 
 (* ------------------------------------------------------------------ *)
@@ -654,7 +704,7 @@ let explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
 
 let explore ?(config = config ()) ?(stop_on_violation = false)
     ?(on_run = fun _ -> ()) ?resume ?(checkpoint_every = 0)
-    ?on_checkpoint ?domains ~n ~participants ~procs ~prop () =
+    ?on_checkpoint ?domains ~n ~participants ~subject () =
   let cfg = config in
   let domains =
     match domains with
@@ -669,12 +719,12 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
     in
     (explore_core ~cfg ~stop_on_violation ~on_run ~base ~forced ~floor:0
        ~budget:cfg.max_runs ~on_execution:None ~checkpoint_every
-       ~on_checkpoint ~capture:None ~n ~participants ~procs ~prop ())
+       ~on_checkpoint ~capture:None ~n ~participants ~subject ())
       .r_stats
   in
   let par subtrees =
     explore_tasks ~cfg ~stop_on_violation ~on_run ~checkpoint_every
-      ~on_checkpoint ~domains ~subtrees ~n ~participants ~procs ~prop ()
+      ~on_checkpoint ~domains ~subtrees ~n ~participants ~subject ()
   in
   match resume with
   | Some (Seq ck) -> seq ~base:(tally_of_checkpoint ck) ~forced:ck.frontier
@@ -682,7 +732,7 @@ let explore ?(config = config ()) ?(stop_on_violation = false)
   | None ->
     if domains <= 1 then seq ~base:zero_tally ~forced:[]
     else begin
-      match split_subtrees ~cfg ~domains ~n ~participants ~procs with
+      match split_subtrees ~cfg ~domains ~n ~participants ~subject with
       | [] | [ _ ] ->
         (* nothing to fan out: the tree has at most one subtree task *)
         seq ~base:zero_tally ~forced:[]

@@ -84,6 +84,13 @@ type checkpoint = {
   ck_pruned : int;
   ck_patterns : int list;
       (** {!Pset.to_mask} of each completed run's faulty set *)
+  ck_viol : (Trace.decision list * bool) list;
+      (** the violating runs found so far, as (decisions, truncated)
+          pairs, oldest first. Only traces are persisted, never
+          verdicts: a resume re-evaluates each one by observed replay
+          against the current subject (and drops runs its assertions
+          now pass), so a checkpoint taken under one assertion set is
+          safe to resume under another. *)
   frontier : (Trace.decision * Trace.decision list) list;
       (** per depth, outermost first: the chosen decision and the
           fully-explored siblings *)
@@ -99,6 +106,8 @@ type tally = {
   t_truncated : int;
   t_pruned : int;
   t_patterns : int list;
+  t_viol : (Trace.decision list * bool) list;
+      (** violating runs of the subtree, as in [ck_viol] *)
   t_exhausted : bool;
 }
 (** Final counters of a completed subtree task. *)
@@ -130,30 +139,33 @@ val explore :
   ?domains:int ->
   n:int ->
   participants:Pset.t ->
-  procs:(unit -> (int -> 'r) array) ->
-  prop:('r Exec.report -> bool) ->
+  subject:(unit -> 'r Subject.t) ->
   unit ->
   'r stats
-(** [explore ~n ~participants ~procs ~prop ()] runs the DFS. [procs]
-    is called once per execution and must return fresh process
-    closures over fresh shared state. [prop] is the safety property
-    checked on every (completed or truncated) run's report. [on_run]
-    observes every such run. [stop_on_violation] (default [false])
-    stops at the first failure — useful as a counterexample finder.
-    [domains] (default [Parallel.default_domains ()]) > 1 fans the
-    search out over the domain pool; the resulting stats are identical
-    whatever the value.
+(** [explore ~n ~participants ~subject ()] runs the DFS. [subject] is
+    called once per execution and must return a fresh {!Subject.t}:
+    fresh process closures over fresh shared state, paired with the
+    monitors and verdict of that execution's assertions (wrap plain
+    processes and a report property with {!Subject.of_procs}). The
+    subject's [check] is evaluated on every (completed or truncated)
+    run; a [check] needing no events leaves both hooks [None] and the
+    search is bit-identical to the historical unmonitored engine.
+    [on_run] observes every counted run. [stop_on_violation] (default
+    [false]) stops at the first failure — useful as a counterexample
+    finder. [domains] (default [Parallel.default_domains ()]) > 1 fans
+    the search out over the domain pool; the resulting stats are
+    identical whatever the value.
 
-    {b Parallel-mode caveats.} [procs], [prop] and [on_run] run on
-    worker domains, possibly concurrently — they must be thread-safe
-    (fresh state per execution plus immutable/interned shared data
-    satisfies this; an [on_run] that accumulates must lock). When the
-    [max_runs] budget trips mid-search, the optimistic parallel pass
-    is discarded and recomputed, so [on_run] may observe some runs
-    more than once across the two passes — consumers should be
-    idempotent. Splitting the tree costs a handful of uncounted probe
-    executions. With [domains = 1] and no [Par] resume the engine is
-    the classic sequential loop, bit-for-bit.
+    {b Parallel-mode caveats.} [subject] and [on_run] run on worker
+    domains, possibly concurrently — they must be thread-safe (fresh
+    state per execution plus immutable/interned shared data satisfies
+    this; an [on_run] that accumulates must lock). When the [max_runs]
+    budget trips mid-search, the optimistic parallel pass is discarded
+    and recomputed, so [on_run] may observe some runs more than once
+    across the two passes — consumers should be idempotent. Splitting
+    the tree costs a handful of uncounted probe executions. With
+    [domains = 1] and no [Par] resume the engine is the classic
+    sequential loop, bit-for-bit.
 
     {b Resilience.} The ambient {!Fact_resilience.Cancel} token is
     polled once per execution (on every worker); on a trip each task
@@ -164,7 +176,9 @@ val explore :
     previous snapshot: counters continue from the snapshot and each
     interrupted DFS first replays its frontier under forcing, so the
     resumed exploration reaches exactly the stats an uninterrupted one
-    would. Resuming against a different protocol or configuration
+    would; recorded violations are re-evaluated by uncounted observed
+    replays against the current subject rather than trusted (see
+    [ck_viol]). Resuming against a different protocol or configuration
     raises a [Precondition] {!Fact_resilience.Fact_error}. *)
 
 val pp_stats : Format.formatter -> 'r stats -> unit

@@ -3,6 +3,10 @@ open Fact_adversary
 open Fact_affine
 open Fact_runtime
 
+(* ------------------------------------------------------------------ *)
+(* One-shot immediate snapshot.                                       *)
+(* ------------------------------------------------------------------ *)
+
 let is_procs ~n () =
   let is = Immediate_snapshot.create n in
   Array.init n (fun _ pid -> Immediate_snapshot.write_snapshot is ~pid pid)
@@ -12,8 +16,241 @@ let views_of_report report =
     (fun (i, view) -> (i, Immediate_snapshot.view_set view))
     (Exec.decided report)
 
+type is_mutation = Split_snapshot
+
+(* The split-snapshot mutant replaces the immediate write-snapshot by
+   a plain write followed by a separate snapshot. Containment still
+   holds (snapshots of one memory are totally ordered) but immediacy
+   breaks for n >= 3, which [is-valid-views] must catch. *)
+let is_make ?mutation ~n () =
+  match mutation with
+  | None ->
+    let is = Immediate_snapshot.create n in
+    let procs =
+      Array.init n (fun _ pid -> Immediate_snapshot.write_snapshot is ~pid pid)
+    in
+    (procs, [ ("is", Immediate_snapshot.id is) ])
+  | Some Split_snapshot ->
+    let mem = Memory.create n in
+    let procs =
+      Array.init n (fun _ pid ->
+          Memory.update mem ~pid pid;
+          let snap = Memory.snapshot mem in
+          Array.to_list snap
+          |> List.mapi (fun j c -> (j, c))
+          |> List.filter_map (function
+               | j, Some v -> Some (j, v)
+               | _, None -> None))
+    in
+    (procs, [ ("is", Memory.id mem) ])
+
+let is_named =
+  [
+    ( "is-valid-views",
+      fun (view : _ Assertion.view) ->
+        if Opart.is_valid_views (views_of_report view.Assertion.v_report) then
+          Ok ()
+        else
+          Error
+            "is-valid-views: decided views do not form a valid ordered \
+             partition (self-inclusion, containment or immediacy broken)" );
+  ]
+
+let is_default_assertion =
+  Assertion.All
+    [ Assertion.Named "is-valid-views"; Assertion.Eventually_decides None ]
+
+let is_subject ?mutation ?(assertion = is_default_assertion) ~n () =
+  Assertion.subject ~participants:(Pset.full n)
+    ~make:(fun () ->
+      let procs, objects = is_make ?mutation ~n () in
+      (procs, Assertion.env ~objects ~named:is_named ()))
+    assertion
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let alg1_prop ~ra report =
+  match List.map snd (Exec.decided report) with
+  | [] -> true
+  | outputs -> Complex.mem (Algorithm1.simplex_of_outputs outputs) ra
+
+let alg1_named ~ra =
+  [
+    ( "in-ra",
+      fun (view : _ Assertion.view) ->
+        if alg1_prop ~ra view.Assertion.v_report then Ok ()
+        else Error "in-ra: the decided outputs form a simplex outside R_A" );
+  ]
+
+let alg1_default_assertion =
+  Assertion.All [ Assertion.Named "in-ra"; Assertion.Eventually_decides None ]
+
+let alg1_object_names = [ "is1"; "is2"; "reg-is1"; "reg-is2"; "reg-conc" ]
+
+let alg1_subject ?(skip_wait = false) ?mutation ?variant
+    ?(assertion = alg1_default_assertion) ~alpha ~participants () =
+  let n = Agreement.n alpha in
+  let ra = Ra.complex ?variant alpha ~n in
+  let skip_wait = skip_wait || mutation = Some Algorithm1.Skip_wait in
+  Assertion.subject ~participants
+    ~make:(fun () ->
+      let inst = Algorithm1.create_instance ~n in
+      let procs =
+        Array.init n (fun _ pid ->
+            Algorithm1.process ~skip_wait ?mutation inst alpha ~pid)
+      in
+      (procs, Assertion.env ~objects:(Algorithm1.objects inst)
+                ~named:(alg1_named ~ra) ()))
+    assertion
+
+(* ------------------------------------------------------------------ *)
+(* Write–snapshot–decide-min (wsmin).                                 *)
+(* ------------------------------------------------------------------ *)
+
+type wsmin_mutation = Biased_decision
+
+let wsmin_default_proposals n = Array.init n (fun i -> 2 * i)
+
+let wsmin_default_assertion ~k =
+  Assertion.All
+    [ Assertion.Validity; Assertion.Agreement k;
+      Assertion.Eventually_decides None ]
+
+let wsmin_subject ?mutation ?proposals ?k ?assertion ~n () =
+  let proposals =
+    match proposals with Some p -> p | None -> wsmin_default_proposals n
+  in
+  if Array.length proposals <> n then
+    Fact_resilience.Fact_error.precondition ~fn:"Harness.wsmin_subject"
+      "need one proposal per process";
+  let k = match k with Some k -> k | None -> n in
+  let assertion =
+    match assertion with Some a -> a | None -> wsmin_default_assertion ~k
+  in
+  let biased = mutation = Some Biased_decision in
+  let plist = Array.to_list proposals |> List.mapi (fun i v -> (i, v)) in
+  Assertion.subject ~participants:(Pset.full n)
+    ~make:(fun () ->
+      let inst = Snapmin.create ~proposals in
+      let procs =
+        Array.init n (fun _ pid -> Snapmin.process ~biased inst ~pid)
+      in
+      (procs, Assertion.env ~objects:(Snapmin.objects inst)
+                ~decisions_of:Exec.decided ~proposals:plist ()))
+    assertion
+
+(* ------------------------------------------------------------------ *)
+(* Built-in assertion registry (for [fact assert list] and --assert). *)
+(* ------------------------------------------------------------------ *)
+
+type builtin = {
+  b_protocol : string;
+  b_name : string;
+  b_doc : string;
+  b_assertion : n:int -> Assertion.t;
+}
+
+let builtins =
+  [
+    {
+      b_protocol = "is";
+      b_name = "default";
+      b_doc = "the full IS oracle: valid views plus termination";
+      b_assertion = (fun ~n:_ -> is_default_assertion);
+    };
+    {
+      b_protocol = "is";
+      b_name = "is-valid-views";
+      b_doc = "decided views form a valid ordered set partition";
+      b_assertion = (fun ~n:_ -> Assertion.Named "is-valid-views");
+    };
+    {
+      b_protocol = "is";
+      b_name = "termination";
+      b_doc = "every participant decides or crashes (vacuous when cut)";
+      b_assertion = (fun ~n:_ -> Assertion.Eventually_decides None);
+    };
+    {
+      b_protocol = "alg1";
+      b_name = "default";
+      b_doc = "the full Theorem 7 oracle: outputs in R_A plus termination";
+      b_assertion = (fun ~n:_ -> alg1_default_assertion);
+    };
+    {
+      b_protocol = "alg1";
+      b_name = "in-ra";
+      b_doc = "decided outputs form a simplex of R_A (Theorem 7 safety)";
+      b_assertion = (fun ~n:_ -> Assertion.Named "in-ra");
+    };
+    {
+      b_protocol = "alg1";
+      b_name = "termination";
+      b_doc = "every participant decides or crashes (vacuous when cut)";
+      b_assertion = (fun ~n:_ -> Assertion.Eventually_decides None);
+    };
+    {
+      b_protocol = "alg1";
+      b_name = "footprint";
+      b_doc =
+        "frame condition: processes only touch the two IS objects and \
+         the three registers";
+      b_assertion =
+        (fun ~n -> Assertion.Frame (Pset.full n, alg1_object_names));
+    };
+    {
+      b_protocol = "wsmin";
+      b_name = "default";
+      b_doc = "validity, n-agreement and termination";
+      b_assertion = (fun ~n -> wsmin_default_assertion ~k:n);
+    };
+    {
+      b_protocol = "wsmin";
+      b_name = "validity";
+      b_doc = "every decided value was proposed";
+      b_assertion = (fun ~n:_ -> Assertion.Validity);
+    };
+    {
+      b_protocol = "wsmin";
+      b_name = "agreement-1";
+      b_doc = "consensus agreement: at most one distinct decided value \
+               (has counterexamples — wsmin does not solve consensus)";
+      b_assertion = (fun ~n:_ -> Assertion.Agreement 1);
+    };
+    {
+      b_protocol = "wsmin";
+      b_name = "termination";
+      b_doc = "every participant decides or crashes (vacuous when cut)";
+      b_assertion = (fun ~n:_ -> Assertion.Eventually_decides None);
+    };
+  ]
+
+let builtin ~protocol name =
+  List.find_opt
+    (fun b -> b.b_protocol = protocol && b.b_name = name)
+    builtins
+
+(* ------------------------------------------------------------------ *)
+(* Ready-made explorations.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_resume ~fn ~protocol ~n ~participants = function
+  | None -> None
+  | Some ck ->
+    if ck.Checkpoint.protocol <> protocol then
+      Fact_resilience.Fact_error.precondition ~fn
+        (Printf.sprintf "checkpoint is for protocol %S, not %S"
+           ck.Checkpoint.protocol protocol);
+    if ck.Checkpoint.n <> n || not (Pset.equal ck.participants participants)
+    then
+      Fact_resilience.Fact_error.precondition ~fn
+        "checkpoint universe does not match";
+    Some ck.Checkpoint.state
+
 let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
-    ?resume ?checkpoint_every ?on_checkpoint ?domains ~n () =
+    ?mutation ?assertion ?stop_on_violation ?resume ?checkpoint_every
+    ?on_checkpoint ?domains ~n () =
   let parts =
     ref (match resume with Some ck -> ck.Checkpoint.parts | None -> [])
   in
@@ -34,20 +271,8 @@ let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
   in
   let participants = Pset.full n in
   let resume_state =
-    match resume with
-    | None -> None
-    | Some ck ->
-      if ck.Checkpoint.protocol <> "is" then
-        Fact_resilience.Fact_error.precondition
-          ~fn:"Harness.explore_immediate_snapshot"
-          (Printf.sprintf "checkpoint is for protocol %S, not \"is\""
-             ck.Checkpoint.protocol);
-      if ck.Checkpoint.n <> n || not (Pset.equal ck.participants participants)
-      then
-        Fact_resilience.Fact_error.precondition
-          ~fn:"Harness.explore_immediate_snapshot"
-          "checkpoint universe does not match";
-      Some ck.Checkpoint.state
+    check_resume ~fn:"Harness.explore_immediate_snapshot" ~protocol:"is" ~n
+      ~participants resume
   in
   let on_checkpoint =
     Option.map
@@ -71,21 +296,16 @@ let explore_immediate_snapshot ?(max_depth = 64) ?(max_runs = 100_000)
   let stats =
     Explore.explore
       ~config:(Explore.config ~max_depth ~max_runs ())
-      ~on_run:record ?resume:resume_state ?checkpoint_every ?on_checkpoint
-      ?domains ~n ~participants ~procs:(is_procs ~n)
-      ~prop:(fun report -> Opart.is_valid_views (views_of_report report))
+      ?stop_on_violation ~on_run:record ?resume:resume_state ?checkpoint_every
+      ?on_checkpoint ?domains ~n ~participants
+      ~subject:(is_subject ?mutation ?assertion ~n ())
       ()
   in
   (stats, List.sort Opart.compare !parts)
 
-let alg1_prop ~ra report =
-  match List.map snd (Exec.decided report) with
-  | [] -> true
-  | outputs -> Complex.mem (Algorithm1.simplex_of_outputs outputs) ra
-
-let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
-    ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation ?resume
-    ?checkpoint_every ?on_checkpoint ?domains ~alpha ~participants () =
+let explore_algorithm1 ?(skip_wait = false) ?mutation ?variant ?assertion
+    ?max_crashes ?(max_depth = 64) ?(max_runs = 100_000) ?stop_on_violation
+    ?resume ?checkpoint_every ?on_checkpoint ?domains ~alpha ~participants () =
   let n = Agreement.n alpha in
   let max_crashes =
     match max_crashes with
@@ -95,26 +315,9 @@ let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
       | Some t -> t
       | None -> 0)
   in
-  let ra = Ra.complex ?variant alpha ~n in
-  let procs () =
-    let inst = Algorithm1.create_instance ~n in
-    Array.init n (fun _ pid -> Algorithm1.process ~skip_wait inst alpha ~pid)
-  in
   let resume_state =
-    match resume with
-    | None -> None
-    | Some ck ->
-      if ck.Checkpoint.protocol <> "alg1" then
-        Fact_resilience.Fact_error.precondition
-          ~fn:"Harness.explore_algorithm1"
-          (Printf.sprintf "checkpoint is for protocol %S, not \"alg1\""
-             ck.Checkpoint.protocol);
-      if ck.Checkpoint.n <> n || not (Pset.equal ck.participants participants)
-      then
-        Fact_resilience.Fact_error.precondition
-          ~fn:"Harness.explore_algorithm1"
-          "checkpoint universe does not match";
-      Some ck.Checkpoint.state
+    check_resume ~fn:"Harness.explore_algorithm1" ~protocol:"alg1" ~n
+      ~participants resume
   in
   let on_checkpoint =
     Option.map
@@ -127,4 +330,29 @@ let explore_algorithm1 ?(skip_wait = false) ?variant ?max_crashes
       (Explore.config ~max_crashes ~crashable:participants ~max_depth
          ~max_runs ())
     ?stop_on_violation ?resume:resume_state ?checkpoint_every ?on_checkpoint
-    ?domains ~n ~participants ~procs ~prop:(alg1_prop ~ra) ()
+    ?domains ~n ~participants
+    ~subject:
+      (alg1_subject ~skip_wait ?mutation ?variant ?assertion ~alpha
+         ~participants ())
+    ()
+
+let explore_snapmin ?mutation ?proposals ?k ?assertion ?(max_depth = 64)
+    ?(max_runs = 100_000) ?stop_on_violation ?resume ?checkpoint_every
+    ?on_checkpoint ?domains ~n () =
+  let participants = Pset.full n in
+  let resume_state =
+    check_resume ~fn:"Harness.explore_snapmin" ~protocol:"wsmin" ~n
+      ~participants resume
+  in
+  let on_checkpoint =
+    Option.map
+      (fun f state ->
+        f { Checkpoint.protocol = "wsmin"; n; participants; state; parts = [] })
+      on_checkpoint
+  in
+  Explore.explore
+    ~config:(Explore.config ~max_depth ~max_runs ())
+    ?stop_on_violation ?resume:resume_state ?checkpoint_every ?on_checkpoint
+    ?domains ~n ~participants
+    ~subject:(wsmin_subject ?mutation ?proposals ?k ?assertion ~n ())
+    ()

@@ -37,8 +37,7 @@ let rec take k = function
   | _ when k = 0 -> []
   | x :: rest -> x :: take (k - 1) rest
 
-let shrink ~procs ~fails tr =
-  let still_fails cand = fails (Replay.run ~procs:(procs ()) cand) in
+let shrink_trace ~still_fails tr =
   let try_candidates current cands =
     List.find_opt (fun c -> not (Trace.equal c current) && still_fails c) cands
   in
@@ -108,3 +107,16 @@ let shrink ~procs ~fails tr =
     if Trace.equal tr' tr then tr else fix tr'
   in
   fix tr
+
+let shrink ~procs ~fails tr =
+  shrink_trace
+    ~still_fails:(fun cand -> fails (Replay.run ~procs:(procs ()) cand))
+    tr
+
+let shrink_subject ?truncated ~subject tr =
+  shrink_trace
+    ~still_fails:(fun cand ->
+      match Replay.check ?truncated ~subject cand with
+      | Ok () -> false
+      | Error _ -> true)
+    tr

@@ -22,6 +22,11 @@ open Fact_runtime
 val context_switches : Trace.t -> int
 (** Number of adjacent decision pairs on different processes. *)
 
+val shrink_trace : still_fails:(Trace.t -> bool) -> Trace.t -> Trace.t
+(** The generic engine: [still_fails] decides whether a candidate
+    trace preserves the failure (it must replay the candidate against
+    fresh state). Assumes [still_fails tr]. *)
+
 val shrink :
   procs:(unit -> (int -> 'r) array) ->
   fails:('r Exec.report -> bool) ->
@@ -31,3 +36,13 @@ val shrink :
     and returns a locally-minimal trace with the same guarantee.
     [procs] must build fresh process closures over fresh shared state
     on every call. *)
+
+val shrink_subject :
+  ?truncated:bool ->
+  subject:(unit -> 'r Subject.t) ->
+  Trace.t ->
+  Trace.t
+(** Assertion-aware shrinking: a candidate preserves the failure when
+    {!Replay.check} against a fresh subject still reports a violated
+    assertion. [truncated] is threaded to the liveness semantics (the
+    original failing run hit the depth budget). *)

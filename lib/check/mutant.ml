@@ -1,0 +1,158 @@
+open Fact_topology
+open Fact_adversary
+open Fact_runtime
+
+type spec = {
+  m_protocol : string;
+  m_name : string;
+  m_n : int;
+  m_doc : string;
+  m_caught_by : string;
+}
+
+let all =
+  [
+    {
+      m_protocol = "is";
+      m_name = "split-snapshot";
+      m_n = 3;
+      m_doc =
+        "plain write then separate snapshot instead of an immediate \
+         write-snapshot (immediacy breaks for n >= 3)";
+      m_caught_by = "is-valid-views";
+    };
+    {
+      m_protocol = "alg1";
+      m_name = "skip-wait";
+      m_n = 2;
+      m_doc = "skip the wait phase of Algorithm 1 (line 6)";
+      m_caught_by = "in-ra";
+    };
+    {
+      m_protocol = "alg1";
+      m_name = "drop-second-snapshot";
+      m_n = 2;
+      m_doc =
+        "publish to the second IS but read back only the own view, \
+         ignoring concurrent first-round views";
+      m_caught_by = "in-ra";
+    };
+    {
+      m_protocol = "alg1";
+      m_name = "biased-view";
+      m_n = 2;
+      m_doc = "drop the first pair from any non-singleton second-IS view";
+      m_caught_by = "in-ra";
+    };
+    {
+      m_protocol = "wsmin";
+      m_name = "biased-decision";
+      m_n = 2;
+      m_doc = "decide min + 1 instead of min (never a proposed value)";
+      m_caught_by = "validity";
+    };
+  ]
+
+let find ~protocol name =
+  List.find_opt (fun s -> s.m_protocol = protocol && s.m_name = name) all
+
+let unknown spec =
+  Fact_resilience.Fact_error.precondition ~fn:"Mutant"
+    (Printf.sprintf "unknown mutant %s/%s" spec.m_protocol spec.m_name)
+
+let alg1_mutation spec =
+  match spec.m_name with
+  | "skip-wait" -> Algorithm1.Skip_wait
+  | "drop-second-snapshot" -> Algorithm1.Drop_second_snapshot
+  | "biased-view" -> Algorithm1.Biased_view
+  | _ -> unknown spec
+
+(* Search models for the alg1 mutants: skip-wait is only wrong when
+   the wait phase matters, i.e. under 1-OF; the two view mutants are
+   hunted under the wait-free adversary (no wait loop, short runs). *)
+let alg1_alpha spec =
+  match spec.m_name with
+  | "skip-wait" -> Agreement.k_obstruction_free ~n:spec.m_n ~k:1
+  | _ -> Agreement.of_adversary (Adversary.wait_free spec.m_n)
+
+let alg1_subject spec =
+  Harness.alg1_subject ~mutation:(alg1_mutation spec) ~alpha:(alg1_alpha spec)
+    ~participants:(Pset.full spec.m_n) ()
+
+let check_trace spec ~truncated tr =
+  match spec.m_protocol with
+  | "is" ->
+    Replay.check ~truncated
+      ~subject:
+        (Harness.is_subject ~mutation:Harness.Split_snapshot ~n:spec.m_n ())
+      tr
+  | "alg1" -> Replay.check ~truncated ~subject:(alg1_subject spec) tr
+  | "wsmin" ->
+    Replay.check ~truncated
+      ~subject:
+        (Harness.wsmin_subject ~mutation:Harness.Biased_decision ~n:spec.m_n
+           ())
+      tr
+  | _ -> unknown spec
+
+type caught = {
+  c_spec : spec;
+  c_trace : Trace.t;
+  c_truncated : bool;
+  c_message : string;
+}
+
+let hunt ?(max_depth = 48) ?(max_runs = 100_000) ?(domains = 1) spec =
+  (* Polymorphic over the subject's result type so one finisher serves
+     all three protocols: take the first violating run, shrink it
+     assertion-aware, then confirm the shrunk trace still fails by a
+     standalone replay against a subject rebuilt from the spec alone. *)
+  let finish : 'r. subject:(unit -> 'r Subject.t) -> 'r Explore.stats ->
+      (caught, string) result =
+   fun ~subject stats ->
+    match stats.Explore.violations with
+    | [] ->
+      Error
+        (Printf.sprintf "%s/%s: no violation found within the budget"
+           spec.m_protocol spec.m_name)
+    | o :: _ -> (
+      let truncated = o.Explore.truncated in
+      let tr = Minimize.shrink_subject ~truncated ~subject o.Explore.trace in
+      match check_trace spec ~truncated tr with
+      | Error msg ->
+        Ok { c_spec = spec; c_trace = tr; c_truncated = truncated;
+             c_message = msg }
+      | Ok () ->
+        Error
+          (Printf.sprintf
+             "%s/%s: shrunk counterexample does not replay standalone"
+             spec.m_protocol spec.m_name))
+  in
+  match spec.m_protocol with
+  | "is" ->
+    let stats, _ =
+      Harness.explore_immediate_snapshot ~mutation:Harness.Split_snapshot
+        ~max_depth ~max_runs ~stop_on_violation:true ~domains ~n:spec.m_n ()
+    in
+    finish
+      ~subject:
+        (Harness.is_subject ~mutation:Harness.Split_snapshot ~n:spec.m_n ())
+      stats
+  | "alg1" ->
+    let stats =
+      Harness.explore_algorithm1 ~mutation:(alg1_mutation spec)
+        ~alpha:(alg1_alpha spec) ~participants:(Pset.full spec.m_n)
+        ~max_depth ~max_runs ~stop_on_violation:true ~domains ()
+    in
+    finish ~subject:(alg1_subject spec) stats
+  | "wsmin" ->
+    let stats =
+      Harness.explore_snapmin ~mutation:Harness.Biased_decision ~max_depth
+        ~max_runs ~stop_on_violation:true ~domains ~n:spec.m_n ()
+    in
+    finish
+      ~subject:
+        (Harness.wsmin_subject ~mutation:Harness.Biased_decision ~n:spec.m_n
+           ())
+      stats
+  | _ -> unknown spec

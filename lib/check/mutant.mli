@@ -1,0 +1,48 @@
+(** Seeded protocol mutants, for mutation-testing the assertion DSL.
+
+    Each {!spec} names a deliberately broken variant of one of the
+    harness protocols, together with the built-in assertion expected
+    to catch it. {!hunt} runs the full counterexample pipeline against
+    a mutant: explore until a violation, shrink it assertion-aware
+    ({!Minimize.shrink_subject}), then confirm the shrunk trace by a
+    {e standalone} replay — the verdict subject is rebuilt from the
+    spec alone, so the counterexample is reproducible outside the
+    hunting process (and from a serialized trace file).
+
+    A mutant that survives (no violation found) or whose shrunk
+    counterexample fails to replay is a bug in the assertions, not in
+    the mutant — that is the point of the exercise. *)
+
+type spec = {
+  m_protocol : string;  (** ["is"], ["alg1"] or ["wsmin"] *)
+  m_name : string;
+  m_n : int;            (** smallest process count exhibiting the bug *)
+  m_doc : string;
+  m_caught_by : string; (** built-in assertion expected to catch it *)
+}
+
+val all : spec list
+(** Every registered mutant. *)
+
+val find : protocol:string -> string -> spec option
+
+val check_trace : spec -> truncated:bool -> Trace.t -> (unit, string) result
+(** Replay a trace against a fresh instance of the mutant under its
+    default assertion suite — standalone verdict of a counterexample.
+    [truncated] flags a run cut at the depth budget (liveness
+    assertions then hold vacuously). *)
+
+type caught = {
+  c_spec : spec;
+  c_trace : Trace.t;      (** shrunk, standalone-replayable *)
+  c_truncated : bool;
+  c_message : string;     (** the violated assertion's message *)
+}
+
+val hunt :
+  ?max_depth:int -> ?max_runs:int -> ?domains:int -> spec ->
+  (caught, string) result
+(** Run the find → shrink → standalone-replay pipeline (defaults:
+    depth 48, 100_000 runs, 1 domain). [Error] carries a diagnosis:
+    either no violation was found within the budget, or the shrunk
+    counterexample failed to replay. *)

@@ -34,3 +34,27 @@ let run ?max_steps ~procs tr =
     match max_steps with Some m -> m | None -> Trace.length tr + 1
   in
   Exec.run ~max_steps ~schedule:(schedule tr) procs
+
+let run_subject ?max_steps ?(truncated = false) ~(subject : _ Subject.t) tr =
+  let max_steps =
+    match max_steps with Some m -> m | None -> Trace.length tr + 1
+  in
+  let report =
+    Exec.run ~max_steps ?on_step:subject.Subject.on_step
+      ?on_crash:subject.Subject.on_crash ~schedule:(schedule tr)
+      subject.Subject.procs
+  in
+  (* A trace that leaves participants running (e.g. a shrinking
+     candidate that cut the tail of a run) is a partial execution
+     whatever the caller believes: liveness assertions must hold
+     vacuously on it, exactly as on a depth-budget cut, or shrinking
+     could manufacture spurious "never decides" violations. *)
+  let partial =
+    Pset.exists
+      (fun p -> report.Exec.outcomes.(p) = Exec.Running)
+      (Trace.participants tr)
+  in
+  (report, subject.Subject.check report ~truncated:(truncated || partial))
+
+let check ?truncated ~subject tr =
+  snd (run_subject ?truncated ~subject:(subject ()) tr)

@@ -22,3 +22,27 @@ val run :
 (** [run ~procs tr] replays [tr] against freshly created processes
     (the caller must supply fresh shared state — replaying against
     used state is meaningless). *)
+
+val run_subject :
+  ?max_steps:int ->
+  ?truncated:bool ->
+  subject:'r Subject.t ->
+  Trace.t ->
+  'r Exec.report * (unit, string) result
+(** Observed replay: run the trace against a fresh {!Subject.t} with
+    its monitor hooks attached, evaluating the subject's assertions
+    incrementally along the replay, and return the report together
+    with the verdict. [truncated] (default [false]) tells liveness
+    assertions the original run hit the depth budget, so they hold
+    vacuously — pass it when re-checking a truncated exploration
+    outcome. *)
+
+val check :
+  ?truncated:bool ->
+  subject:(unit -> 'r Subject.t) ->
+  Trace.t ->
+  (unit, string) result
+(** [check ~subject tr]: the verdict of one observed replay of [tr]
+    against a fresh subject. This is the standalone counterexample
+    checker: a reported violation must fail this check from nothing
+    but the trace and the subject builder. *)

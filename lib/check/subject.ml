@@ -1,0 +1,18 @@
+open Fact_runtime
+
+type 'r t = {
+  procs : (int -> 'r) array;
+  on_step : (pid:int -> Op.pending -> unit) option;
+  on_crash : (pid:int -> unit) option;
+  check : 'r Exec.report -> truncated:bool -> (unit, string) result;
+}
+
+let of_procs ~prop procs =
+  {
+    procs;
+    on_step = None;
+    on_crash = None;
+    check =
+      (fun report ~truncated:_ ->
+        if prop report then Ok () else Error "property violated");
+  }

@@ -1,0 +1,33 @@
+(** A system under test bundled with its observers: the unit the
+    explorer and the replayer execute.
+
+    A subject pairs the fresh process closures of one execution with
+    the (optional) event hooks and the verdict function of the
+    monitors watching that same execution. Bundling them is what lets
+    assertion monitors ({!Assertion.subject}) close over the very
+    protocol instance the processes share — object ids are
+    per-instance, so an observer built against another instance would
+    watch the wrong objects.
+
+    Builders are functions [unit -> 'r t]: like the old [procs]
+    argument of {!Explore.explore}, every call must return fresh
+    state — fresh processes {e and} fresh monitor state. A subject
+    whose assertion needs no events has [on_step = on_crash = None]
+    and its executions are bit-identical to unmonitored ones. *)
+
+open Fact_runtime
+
+type 'r t = {
+  procs : (int -> 'r) array;  (** fresh process closures, one run *)
+  on_step : (pid:int -> Op.pending -> unit) option;
+      (** forwarded to {!Exec.run}'s [on_step] *)
+  on_crash : (pid:int -> unit) option;
+      (** forwarded to {!Exec.run}'s [on_crash] *)
+  check : 'r Exec.report -> truncated:bool -> (unit, string) result;
+      (** the verdict on the run this subject executed; [truncated]
+          tells liveness parts to hold vacuously *)
+}
+
+val of_procs : prop:('r Exec.report -> bool) -> (int -> 'r) array -> 'r t
+(** Wrap plain processes and a boolean report property into a subject
+    with no observers — the bridge from the pre-assertion API. *)

@@ -36,6 +36,7 @@ module Memory = Fact_runtime.Memory
 module Immediate_snapshot = Fact_runtime.Immediate_snapshot
 module Iis = Fact_runtime.Iis
 module Algorithm1 = Fact_runtime.Algorithm1
+module Snapmin = Fact_runtime.Snapmin
 module Affine_runner = Fact_runtime.Affine_runner
 module Adaptive_consensus = Fact_runtime.Adaptive_consensus
 module Simulation = Fact_runtime.Simulation
@@ -50,6 +51,9 @@ module Minimize = Fact_check.Minimize
 module Gen = Fact_check.Gen
 module Shrink = Fact_check.Shrink
 module Prop = Fact_check.Prop
+module Subject = Fact_check.Subject
+module Assertion = Fact_check.Assertion
+module Mutant = Fact_check.Mutant
 module Harness = Fact_check.Harness
 module Checkpoint = Fact_check.Checkpoint
 module Chaos = Fact_check.Chaos

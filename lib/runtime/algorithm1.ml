@@ -24,7 +24,19 @@ let create_instance ~n =
     reg_conc = Memory.create n;
   }
 
-let process ?(skip_wait = false) inst alpha ~pid =
+let objects inst =
+  [
+    ("is1", Immediate_snapshot.id inst.first);
+    ("is2", Immediate_snapshot.id inst.second);
+    ("reg-is1", Memory.id inst.reg_is1);
+    ("reg-is2", Memory.id inst.reg_is2);
+    ("reg-conc", Memory.id inst.reg_conc);
+  ]
+
+type mutation = Skip_wait | Drop_second_snapshot | Biased_view
+
+let process ?(skip_wait = false) ?mutation inst alpha ~pid =
+  let skip_wait = skip_wait || mutation = Some Skip_wait in
   let a p = Agreement.eval alpha p in
   (* Line 5: first immediate snapshot, then publish IS1[i]. *)
   let view1_pairs = Immediate_snapshot.write_snapshot inst.first ~pid pid in
@@ -55,7 +67,22 @@ let process ?(skip_wait = false) inst alpha ~pid =
   in
   if not skip_wait then wait ();
   (* Line 10: second immediate snapshot on the IS1 view, publish. *)
-  let view2_pairs = Immediate_snapshot.write_snapshot inst.second ~pid is1 in
+  let view2_pairs =
+    match mutation with
+    | Some Drop_second_snapshot ->
+      (* mutant: the second IS round is dropped entirely — the process
+         reports only its own pair, as if it ran the round alone *)
+      [ (pid, is1) ]
+    | _ -> Immediate_snapshot.write_snapshot inst.second ~pid is1
+  in
+  let view2_pairs =
+    match mutation with
+    | Some Biased_view -> (
+      (* mutant: the lowest-id pair is silently lost from the second
+         view — a biased snapshot that breaks Chr² containment *)
+      match view2_pairs with _ :: (_ :: _ as rest) -> rest | v -> v)
+    | _ -> view2_pairs
+  in
   Memory.update inst.reg_is2 ~pid view2_pairs;
   (* Lines 11-12: publish the concurrency level witnessed by a
      terminated critical simplex. *)

@@ -29,12 +29,29 @@ val create_instance : n:int -> instance
 (** Fresh shared objects (two IS objects and the three register
     arrays). One instance per run. *)
 
-val process : ?skip_wait:bool -> instance -> Agreement.t -> pid:int -> output
+val objects : instance -> (string * int) list
+(** Symbolic names for the instance's shared objects, mapped to the
+    {!Op.t} object ids of this instance ([is1], [is2], [reg-is1],
+    [reg-is2], [reg-conc]). Object ids are globally monotonic, so
+    assertions must resolve names through this map per run. *)
+
+type mutation = Skip_wait | Drop_second_snapshot | Biased_view
+(** Seeded faults for mutation-testing the oracle suite:
+    - [Skip_wait] removes the wait-phase (lines 6–9), degrading the
+      algorithm to a plain 2-round immediate snapshot;
+    - [Drop_second_snapshot] skips the second IS round — the process
+      reports only its own pair;
+    - [Biased_view] drops the lowest-id pair from the second view.
+    Each must be caught by at least one built-in assertion. *)
+
+val process :
+  ?skip_wait:bool -> ?mutation:mutation -> instance -> Agreement.t ->
+  pid:int -> output
 (** The protocol for one process, to be run under {!Exec.run}.
-    [skip_wait] (default [false]) is an ablation: it removes the
-    wait-phase (lines 6–9), degrading the algorithm to a plain 2-round
-    immediate snapshot — outputs then escape [R_A] on contended
-    schedules (verified by the test suite and the [ablation] bench). *)
+    [skip_wait] (default [false]) is the historical spelling of
+    [~mutation:Skip_wait]: it removes the wait-phase, and outputs then
+    escape [R_A] on contended schedules (verified by the test suite
+    and the [ablation] bench). *)
 
 val run :
   ?max_steps:int ->

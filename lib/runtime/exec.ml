@@ -44,7 +44,7 @@ let handler =
         | _ -> None);
   }
 
-let run ?(max_steps = 100_000) ?on_step ~schedule procs =
+let run ?(max_steps = 100_000) ?on_step ?on_crash ~schedule procs =
   let n = Schedule.n schedule in
   if Array.length procs <> n then invalid_arg "Exec.run: arity mismatch";
   let participants = Schedule.participants schedule in
@@ -103,6 +103,7 @@ let run ?(max_steps = 100_000) ?on_step ~schedule procs =
       | None -> ()
       | Some pid ->
         if Schedule.crash_now schedule ~pid ~steps_taken:steps_of.(pid) then begin
+          (match on_crash with Some f -> f ~pid | None -> ());
           kill pid;
           loop ()
         end

@@ -37,6 +37,7 @@ type 'r report = {
 val run :
   ?max_steps:int ->
   ?on_step:(pid:int -> Op.pending -> unit) ->
+  ?on_crash:(pid:int -> unit) ->
   schedule:Schedule.t ->
   (int -> 'r) array ->
   'r report
@@ -50,7 +51,10 @@ val run :
     [on_step] is a trace hook called right before each scheduler step
     with the stepping process and the operation it is about to perform
     ([Start] for its very first step). Crash events do not invoke the
-    hook (they execute no operation). *)
+    hook (they execute no operation); they invoke [on_crash] instead,
+    right before the fiber is discontinued — together the two hooks
+    observe the full decision sequence of the run, which is what the
+    assertion monitors of [Fact_check] consume. *)
 
 val decided : 'r report -> (int * 'r) list
 (** The decided processes with their values, by increasing id. *)

@@ -5,6 +5,7 @@ type 'a cell = { value : 'a; level : int }
 type 'a t = { mem : 'a cell Memory.t }
 
 let create n = { mem = Memory.create n }
+let id t = Memory.id t.mem
 
 let write_snapshot t ~pid v =
   let n = Memory.n t.mem in

@@ -13,6 +13,11 @@ type 'a t
 
 val create : int -> 'a t
 
+val id : 'a t -> int
+(** The object id of the underlying snapshot memory — this is the id
+    that labels the IS's operations in {!Op.t} descriptors, so frame
+    assertions can name the object symbolically. *)
+
 val write_snapshot : 'a t -> pid:int -> 'a -> (int * 'a) list
 (** [WriteSnapshot(v)]: submits [v] and returns the set of submitted
     (process, value) pairs of the view, sorted by process id. One-shot

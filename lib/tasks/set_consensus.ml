@@ -67,7 +67,12 @@ let task_fixed ~n ~k ~inputs =
 
 let consensus ~n ~values = task ~n ~k:1 ~values
 
-let decisions_ok ~k ~proposals ~decisions =
+let agreement_ok ~k ~decisions =
+  List.length (List.sort_uniq Stdlib.compare (List.map snd decisions)) <= k
+
+let validity_ok ~proposals ~decisions =
   let proposed = List.map snd proposals in
   List.for_all (fun (_, v) -> List.mem v proposed) decisions
-  && List.length (List.sort_uniq Stdlib.compare (List.map snd decisions)) <= k
+
+let decisions_ok ~k ~proposals ~decisions =
+  validity_ok ~proposals ~decisions && agreement_ok ~k ~decisions

@@ -17,7 +17,14 @@ val task_fixed : n:int -> k:int -> inputs:int list -> Task.t
 
 val consensus : n:int -> values:int list -> Task.t
 
+val agreement_ok : k:int -> decisions:(int * int) list -> bool
+(** At most [k] distinct values are decided. *)
+
+val validity_ok :
+  proposals:(int * int) list -> decisions:(int * int) list -> bool
+(** Every decided value was proposed by someone. *)
+
 val decisions_ok : k:int -> proposals:(int * int) list ->
   decisions:(int * int) list -> bool
-(** Operational check used by the runtime experiments: every decision
-    is a proposal, and at most [k] distinct values are decided. *)
+(** Operational check used by the runtime experiments:
+    {!validity_ok} and {!agreement_ok} together. *)

@@ -207,8 +207,9 @@ let test_explore_sleep_sets_prune () =
         pid)
   in
   let stats =
-    Explore.explore ~n:2 ~participants:(Pset.full 2) ~procs
-      ~prop:(fun _ -> true) ()
+    Explore.explore ~n:2 ~participants:(Pset.full 2)
+      ~subject:(fun () -> Subject.of_procs ~prop:(fun _ -> true) (procs ()))
+      ()
   in
   check_bool "exhaustive" true stats.Explore.exhausted;
   check_bool "pruned something" true (stats.Explore.pruned > 0);

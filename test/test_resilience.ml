@@ -439,7 +439,8 @@ let test_chaos () =
     (stats.Chaos.worker_crash > 0
     && stats.Chaos.worker_transient > 0
     && stats.Chaos.evictions > 0
-    && stats.Chaos.explore_storms > 0);
+    && stats.Chaos.explore_storms > 0
+    && stats.Chaos.assertion_sweeps > 0);
   check_bool "typed errors observed" true (stats.Chaos.typed_errors > 0);
   check_bool "completions observed" true (stats.Chaos.completed > 0)
 
