@@ -769,7 +769,7 @@ let bench_json () =
     let store = Store.open_dir (Filename.concat dir "store") in
     let scheduler = Scheduler.create ~store () in
     let sock = Filename.concat dir "bench.sock" in
-    let listener = Listener.start ~scheduler (Listener.Unix_sock sock) in
+    let listener = Listener.start_scheduler ~scheduler (Listener.Unix_sock sock) in
     let cleanup () =
       Listener.stop listener;
       Array.iter

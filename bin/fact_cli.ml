@@ -11,7 +11,9 @@
      chaos     inject faults into the resilience layer and audit it
      census    classify every adversary over n processes
      serve     long-lived query server (dedup, batching, warm store)
-     client    query a running server
+     client    query a running server (with optional retry/backoff)
+     cluster   supervised sharded+replicated worker cluster front tier
+     loadgen   concurrent query burst against a server or cluster
      ra        one-shot evaluation of the ra serve endpoint
 
    Adversaries are given either by a preset name
@@ -543,7 +545,7 @@ let assert_cmd =
 
 (* ----------------------------- chaos ------------------------------ *)
 
-let chaos_run seed max_faults serve_faults =
+let chaos_run seed max_faults serve_faults cluster_faults =
   let stats = Chaos.run ~seed ~max_faults () in
   pf "chaos: %a@." Chaos.pp_stats stats;
   let serve_violations =
@@ -554,7 +556,15 @@ let chaos_run seed max_faults serve_faults =
       s.Serve_chaos.violations
     end
   in
-  match stats.Chaos.violations @ serve_violations with
+  let cluster_violations =
+    if cluster_faults < 1 then []
+    else begin
+      let s = Serve_chaos.run_cluster ~seed ~max_faults:cluster_faults () in
+      pf "%a@." Serve_chaos.pp_cluster_stats s;
+      s.Serve_chaos.c_violations
+    end
+  in
+  match stats.Chaos.violations @ serve_violations @ cluster_violations with
   | [] -> pf "all invariants held@."
   | vs ->
     List.iter (fun m -> pf "violation: %s@." m) vs;
@@ -575,15 +585,28 @@ let chaos_cmd =
              faults (client disconnects, corrupted store entries, forced \
              evictions mid-batch, protocol garbage).")
   in
+  let cluster_faults_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "cluster-faults" ] ~docv:"N"
+          ~doc:
+            "Also boot a throwaway sharded cluster (real worker \
+             processes) and inject N faults: kill -9 mid-request, \
+             corrupted replica stores, SIGSTOP heartbeat stalls, \
+             whole-shard blackouts. Every query must still answer with \
+             one-shot-identical bytes.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Inject worker crashes, cancellations and cache evictions into \
           the R_A pipeline and audit the resilience invariants.")
     Term.(
-      const (fun timeout seed max_faults serve_faults ->
-          guarded timeout (fun () -> chaos_run seed max_faults serve_faults))
-      $ timeout_arg $ seed_arg $ max_faults_arg $ serve_faults_arg)
+      const (fun timeout seed max_faults serve_faults cluster_faults ->
+          guarded timeout (fun () ->
+              chaos_run seed max_faults serve_faults cluster_faults))
+      $ timeout_arg $ seed_arg $ max_faults_arg $ serve_faults_arg
+      $ cluster_faults_arg)
 
 (* ------------------------- serve / client ------------------------- *)
 
@@ -647,7 +670,7 @@ let serve addr_s store_dir cache_cap max_frame =
   let addr = addr_of addr_s in
   let store = Option.map Store.open_dir store_dir in
   let scheduler = Scheduler.create ?store ?cache_cap () in
-  let listener = Listener.start ~max_frame ~scheduler addr in
+  let listener = Listener.start_scheduler ~max_frame ~scheduler addr in
   (match store with
   | Some s ->
     pf "fact: serving on %s (store %s, %d entries warm)@."
@@ -703,9 +726,29 @@ let serve_cmd =
           guarded None (fun () -> serve addr store cap max_frame))
       $ addr_arg $ store_arg $ cache_cap_arg $ max_frame_arg)
 
-let client timeout addr_s endpoint n m preset live_sets protocol max_runs =
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts (fresh connection each) after a retryable \
+           transport failure — server unreachable, connection dropped, \
+           receive timed out. Server-side refusals are never retried. \
+           With the budget exhausted the command exits 7 (unavailable).")
+
+let backoff_ms_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Base delay between retries; doubles per attempt, capped at \
+           2000ms.")
+
+let client timeout addr_s retries backoff_ms endpoint n m preset live_sets
+    protocol max_runs =
   let addr = addr_of addr_s in
-  Client.with_connection addr (fun c ->
+  let backoff = Backoff.make ~base_ms:backoff_ms () in
+  Client.with_retries ~retries ~backoff addr (fun c ->
       match endpoint with
       | "stats" -> print_string (Client.stats c)
       | "ping" ->
@@ -742,11 +785,184 @@ let client_cmd =
           source (computed | memory | disk) goes to stderr. A --timeout \
           is enforced server-side as a per-request deadline.")
     Term.(
-      const (fun timeout addr endpoint n m preset live protocol max_runs ->
+      const (fun timeout addr retries backoff_ms endpoint n m preset live
+                 protocol max_runs ->
           guarded None (fun () ->
-              client timeout addr endpoint n m preset live protocol max_runs))
-      $ timeout_arg $ addr_arg $ endpoint_arg $ n_arg $ m_serve_arg
-      $ preset_arg $ live_arg $ protocol_serve_arg $ max_runs_serve_arg)
+              client timeout addr retries backoff_ms endpoint n m preset live
+                protocol max_runs))
+      $ timeout_arg $ addr_arg $ retries_arg $ backoff_ms_arg $ endpoint_arg
+      $ n_arg $ m_serve_arg $ preset_arg $ live_arg $ protocol_serve_arg
+      $ max_runs_serve_arg)
+
+(* ------------------------- cluster / loadgen ---------------------- *)
+
+let cluster_run addr_s shards replicas dir max_frame restart_budget
+    attempt_timeout =
+  let addr = addr_of addr_s in
+  let dir =
+    match dir with
+    | Some d -> d
+    | None ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fact-cluster-%d" (Unix.getpid ()))
+  in
+  let cfg =
+    Cluster.config ~dir ~shards ~replicas ~restart_budget
+      ~attempt_timeout_s:attempt_timeout ()
+  in
+  let cluster = Cluster.start cfg in
+  let listener =
+    Listener.start ~max_frame ~handler:(Cluster.handler cluster) addr
+  in
+  for shard = 0 to shards - 1 do
+    for replica = 0 to replicas - 1 do
+      pf "fact: worker shard=%d replica=%d pid=%d sock=%s@." shard replica
+        (Option.value (Cluster.worker_pid cluster ~shard ~replica) ~default:0)
+        (Cluster.worker_sock cluster ~shard ~replica)
+    done
+  done;
+  pf "fact: cluster serving on %s (%d shards x %d replicas, store root %s)@."
+    (Listener.addr_to_string addr) shards replicas dir;
+  let stop_in_background _ =
+    ignore (Thread.create (fun () -> Listener.stop listener) ())
+  in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle stop_in_background);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_in_background)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Listener.wait listener;
+  Listener.stop listener;
+  Cluster.stop cluster;
+  pf "fact: cluster stopped@."
+
+let cluster_cmd =
+  let shards_arg =
+    Arg.(value & opt int 3 & info [ "shards" ] ~doc:"Number of shards.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~doc:"Worker processes per shard.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Root directory for worker stores and sockets (default: a \
+             pid-stamped directory under the system temp dir).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Wire.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame.")
+  in
+  let restart_budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Consecutive crash-loop restarts before a worker is fused \
+             (left down and routed around).")
+  in
+  let attempt_timeout_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "attempt-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Socket send/receive bound per replica attempt; a wedged \
+             worker costs at most this before failover.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Serve queries from a supervised, sharded, replicated worker \
+          cluster: content digests are consistent-hashed across shards, \
+          each shard runs R replicated fact-serve processes, crashed \
+          workers are restarted with backoff, replicas are kept \
+          converged by write-through and read-repair, and with a whole \
+          shard down the front tier degrades to local evaluation \
+          instead of failing.")
+    Term.(
+      const (fun addr shards replicas dir max_frame budget attempt ->
+          guarded None (fun () ->
+              cluster_run addr shards replicas dir max_frame budget attempt))
+      $ addr_arg $ shards_arg $ replicas_arg $ dir_arg $ max_frame_arg
+      $ restart_budget_arg $ attempt_timeout_arg)
+
+(* a fixed mix of cheap queries with distinct digests, so a burst
+   spreads over every shard of a cluster *)
+let loadgen_mix =
+  [
+    Query.Ra { n = 2; adv = Query.Preset "wait-free" };
+    Query.Chr { n = 2; m = 1 };
+    Query.Chr { n = 3; m = 1 };
+    Query.Setcon { n = 3; adv = Query.Preset "wait-free" };
+    Query.Setcon { n = 3; adv = Query.Preset "t-res:1" };
+    Query.Fairness { n = 2; adv = Query.Preset "wait-free" };
+    Query.Fairness { n = 3; adv = Query.Preset "t-res:1" };
+    Query.Critical { n = 2; adv = Query.Preset "wait-free" };
+  ]
+
+let loadgen_run addr_s requests threads retries backoff_ms deadline =
+  let addr = addr_of addr_s in
+  let backoff = Backoff.make ~base_ms:backoff_ms () in
+  let report =
+    Loadgen.run ~threads ~requests ~retries ~backoff ?deadline_s:deadline
+      ~queries:loadgen_mix addr
+  in
+  print_endline (Loadgen.report_to_string report);
+  if report.Loadgen.failed > 0 then
+    Fact_error.raise_error
+      (Fact_error.Unavailable
+         {
+           what =
+             Printf.sprintf "loadgen: %d of %d requests failed"
+               report.Loadgen.failed report.Loadgen.sent;
+         })
+
+let loadgen_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let loadgen_retries_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget per request (see fact client --retries).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-request server-side deadline.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Fire a concurrent burst of queries (a fixed mix of cheap \
+          endpoints with distinct digests) at a running fact server or \
+          cluster and report per-source counts and a latency histogram. \
+          Exits 0 only if every request succeeded; a request whose \
+          retry budget is exhausted makes the exit code 7.")
+    Term.(
+      const (fun addr requests threads retries backoff_ms deadline ->
+          guarded None (fun () ->
+              loadgen_run addr requests threads retries backoff_ms deadline))
+      $ addr_arg $ requests_arg $ threads_arg $ loadgen_retries_arg
+      $ backoff_ms_arg $ deadline_arg)
 
 let ra_cmd =
   Cmd.v
@@ -791,7 +1007,9 @@ let () =
          chaos-invariant failure was found; 2 on a precondition or usage \
          error; 3 when a --timeout deadline was exceeded; 4 when \
          cancelled; 5 on a parallel worker failure; 6 on a resource \
-         limit.";
+         limit; 7 when a server or shard stayed unavailable (bind \
+         failure, unreachable server, retry budget exhausted) — the \
+         retryable class: back off and try again.";
     ]
   in
   let info =
@@ -805,4 +1023,4 @@ let () =
        (Cmd.group info
           [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
             explore_cmd; assert_cmd; chaos_cmd; census_cmd; serve_cmd;
-            client_cmd; ra_cmd ]))
+            client_cmd; cluster_cmd; loadgen_cmd; ra_cmd ]))

@@ -4,11 +4,15 @@ type t =
   | Cancelled of { where : string }
   | Worker_failure of { fn : string; failed : int; chunks : int; first : string }
   | Resource_limit of { what : string; limit : int; got : int }
+  | Unavailable of { what : string }
 
 exception Error of t
 
 let raise_error e = raise (Error e)
 let precondition ~fn what = raise_error (Precondition { fn; what })
+let unavailable what = raise_error (Unavailable { what })
+
+let is_unavailable = function Error (Unavailable _) -> true | _ -> false
 
 let is_cancellation = function
   | Error (Cancelled _ | Deadline_exceeded _) -> true
@@ -20,6 +24,7 @@ let exit_code = function
   | Cancelled _ -> 4
   | Worker_failure _ -> 5
   | Resource_limit _ -> 6
+  | Unavailable _ -> 7
 
 let to_string = function
   | Precondition { fn; what } ->
@@ -34,6 +39,7 @@ let to_string = function
   | Resource_limit { what; limit; got } ->
     Printf.sprintf "fact_error(resource-limit): %s: got %d, limit %d" what got
       limit
+  | Unavailable { what } -> Printf.sprintf "fact_error(unavailable): %s" what
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -18,7 +18,13 @@
       aggregates every per-chunk failure.
     - [Resource_limit]: a configured resource bound was exceeded
       (e.g. a cache invariant check tripped, or a frontier outgrew a
-      hard cap). *)
+      hard cap).
+    - [Unavailable]: a service dependency is (possibly transiently)
+      unreachable — a socket that cannot be bound because the previous
+      owner's address lingers, a server that refuses connections, a
+      shard whose restart budget is exhausted. Unlike [Precondition]
+      this is {e retryable}: supervisors and clients respond with
+      {!Backoff} and failover, not by giving up. *)
 
 type t =
   | Precondition of { fn : string; what : string }
@@ -26,6 +32,7 @@ type t =
   | Cancelled of { where : string }
   | Worker_failure of { fn : string; failed : int; chunks : int; first : string }
   | Resource_limit of { what : string; limit : int; got : int }
+  | Unavailable of { what : string }
 
 exception Error of t
 
@@ -33,6 +40,13 @@ val raise_error : t -> 'a
 val precondition : fn:string -> string -> 'a
 (** [precondition ~fn msg] raises [Error (Precondition _)] — the typed
     replacement for [invalid_arg (fn ^ ": " ^ msg)]. *)
+
+val unavailable : string -> 'a
+(** Raises [Error (Unavailable _)]. *)
+
+val is_unavailable : exn -> bool
+(** True for [Error (Unavailable _)]: failures a retry/backoff layer
+    may absorb instead of propagating. *)
 
 val is_cancellation : exn -> bool
 (** True for [Error (Cancelled _ | Deadline_exceeded _)]: failures that
@@ -43,8 +57,8 @@ val is_cancellation : exn -> bool
 val exit_code : t -> int
 (** Documented process exit codes: [Precondition] 2,
     [Deadline_exceeded] 3, [Cancelled] 4, [Worker_failure] 5,
-    [Resource_limit] 6. (0 is success; 1 is reserved for property
-    violations / counterexamples.) *)
+    [Resource_limit] 6, [Unavailable] 7. (0 is success; 1 is reserved
+    for property violations / counterexamples.) *)
 
 val to_string : t -> string
 (** One-line rendering, ["fact_error(<class>): ..."]. Also installed as

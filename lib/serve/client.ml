@@ -1,11 +1,18 @@
 open Fact_sexp
 module Fact_error = Fact_resilience.Fact_error
+module Backoff = Fact_resilience.Backoff
 
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
 let fail what = Fact_error.precondition ~fn:"Client" what
 
-let connect addr =
+(* Transport-level failures — unreachable server, connection died
+   mid-exchange, a receive timeout — are [Unavailable]: the server may
+   be restarting, so a retry/backoff layer is entitled to absorb them.
+   Protocol-level failures (unparseable reply) stay [Precondition]. *)
+let gone what = Fact_error.unavailable ("Client: " ^ what)
+
+let connect ?timeout_s addr =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception (Invalid_argument _ | Sys_error _) -> ());
@@ -20,10 +27,22 @@ let connect addr =
       (Unix.PF_INET, Unix.ADDR_INET (inet, port))
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (* a bounded socket: a peer that accepted the connection but stopped
+     responding (SIGSTOP, wedged) trips EAGAIN instead of hanging the
+     caller forever; the error is typed Unavailable so failover logic
+     moves on to a replica *)
+  (match timeout_s with
+  | None -> ()
+  | Some s when s > 0. -> (
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+    with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | Some _ -> ());
   (try Unix.connect fd sockaddr
    with Unix.Unix_error (err, _, _) ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
-     fail
+     gone
        (Printf.sprintf "cannot reach %s: %s"
           (Listener.addr_to_string addr)
           (Unix.error_message err)));
@@ -39,13 +58,15 @@ let roundtrip t req =
   if t.closed then fail "connection already closed";
   (try Wire.write_frame t.fd (Sexp.to_string (Wire.request_to_sexp req))
    with Unix.Unix_error (err, _, _) ->
-     fail ("send failed: " ^ Unix.error_message err));
+     gone ("send failed: " ^ Unix.error_message err));
   match Wire.read_frame ~max_frame:Wire.default_max_frame t.fd with
-  | Error Wire.Eof -> fail "server closed the connection"
-  | Error Wire.Truncated -> fail "truncated reply"
+  | Error Wire.Eof -> gone "server closed the connection"
+  | Error Wire.Truncated -> gone "truncated reply"
   | Error (Wire.Oversized n) -> fail (Printf.sprintf "oversized reply (%d bytes)" n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    -> gone "receive timed out"
   | exception Unix.Unix_error (err, _, _) ->
-    fail ("receive failed: " ^ Unix.error_message err)
+    gone ("receive failed: " ^ Unix.error_message err)
   | Ok raw -> (
     match
       let ( let* ) r f = Result.bind r f in
@@ -60,6 +81,12 @@ let query t ?deadline_s q =
   | Wire.Payload { payload; source } -> (payload, source)
   | Wire.Refused e -> Fact_error.raise_error e
   | _ -> fail "unexpected reply to query"
+
+let put t q ~payload =
+  match roundtrip t (Wire.Put { query = q; payload }) with
+  | Wire.Stored { already } -> already
+  | Wire.Refused e -> Fact_error.raise_error e
+  | _ -> fail "unexpected reply to put"
 
 let stats t =
   match roundtrip t Wire.Stats with
@@ -79,6 +106,25 @@ let shutdown t =
   | Wire.Refused e -> Fact_error.raise_error e
   | _ -> fail "unexpected reply to shutdown"
 
-let with_connection addr f =
-  let t = connect addr in
+let with_connection ?timeout_s addr f =
+  let t = connect ?timeout_s addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* --------------------------- retry layer --------------------------- *)
+
+let with_retries ?(retries = 2) ?(backoff = Backoff.default) ?timeout_s addr f =
+  let rec go attempt =
+    match with_connection ?timeout_s addr f with
+    | v -> v
+    | exception Fact_error.Error (Fact_error.Unavailable _ as e) ->
+      if attempt >= retries then Fact_error.raise_error e
+      else begin
+        Backoff.sleep backoff ~attempt;
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+let query_with_retry ?retries ?backoff ?timeout_s ?deadline_s addr q =
+  with_retries ?retries ?backoff ?timeout_s addr (fun t ->
+      query t ?deadline_s q)

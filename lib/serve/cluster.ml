@@ -1,0 +1,418 @@
+module Fact_error = Fact_resilience.Fact_error
+module Backoff = Fact_resilience.Backoff
+
+type config = {
+  shards : int;
+  replicas : int;
+  vnodes : int;
+  dir : string;
+  binary : string;
+  restart_budget : int;
+  backoff : Backoff.policy;
+  attempt_timeout_s : float;
+  heartbeat_period_s : float;
+  fail_threshold : int;
+  ready_timeout_s : float;
+  reset_after_s : float;
+}
+
+let config ?(vnodes = 64) ?binary ?(restart_budget = 8)
+    ?(backoff = Backoff.supervisor) ?(attempt_timeout_s = 10.)
+    ?(heartbeat_period_s = 0.5) ?(fail_threshold = 3) ?(ready_timeout_s = 10.)
+    ?(reset_after_s = 5.) ~dir ~shards ~replicas () =
+  if shards < 1 then
+    Fact_error.precondition ~fn:"Cluster.config"
+      (Printf.sprintf "shards must be >= 1, got %d" shards);
+  if replicas < 1 then
+    Fact_error.precondition ~fn:"Cluster.config"
+      (Printf.sprintf "replicas must be >= 1, got %d" replicas);
+  let binary = match binary with Some b -> b | None -> Supervisor.default_binary () in
+  {
+    shards;
+    replicas;
+    vnodes;
+    dir;
+    binary;
+    restart_budget;
+    backoff;
+    attempt_timeout_s;
+    heartbeat_period_s;
+    fail_threshold;
+    ready_timeout_s;
+    reset_after_s;
+  }
+
+(* per-digest replication state: which replicas of the owning shard
+   are confirmed to hold the entry on disk *)
+type entry = { shard : int; bits : bool array }
+
+type repair_job = {
+  digest : string;
+  query : Query.t;
+  payload : string;
+  job_shard : int;
+}
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  sup : Supervisor.t;
+  health : Health.t;
+  seen : (string, entry) Hashtbl.t;
+  seen_lock : Mutex.t;
+  repair_q : repair_job Queue.t;
+  repair_lock : Mutex.t;
+  repair_cond : Condition.t;
+  mutable repair_thread : Thread.t option;
+  mutable stopping : bool;
+  mutable served_ : int;
+  mutable failovers_ : int;
+  mutable degraded_ : int;
+  mutable repairs_ : int;
+  mutable puts_ : int;
+  counters : Mutex.t;
+}
+
+let slot_id cfg ~shard ~replica = (shard * cfg.replicas) + replica
+
+let worker_dir_of cfg ~shard ~replica =
+  Filename.concat cfg.dir (Printf.sprintf "shard-%d/replica-%d" shard replica)
+
+(* short name: Unix socket paths are capped around 100 bytes *)
+let worker_sock_of cfg ~shard ~replica =
+  Filename.concat cfg.dir (Printf.sprintf "s%d-r%d.sock" shard replica)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let bump t field =
+  Mutex.lock t.counters;
+  (match field with
+  | `Served -> t.served_ <- t.served_ + 1
+  | `Failover -> t.failovers_ <- t.failovers_ + 1
+  | `Degraded -> t.degraded_ <- t.degraded_ + 1
+  | `Repair -> t.repairs_ <- t.repairs_ + 1
+  | `Put -> t.puts_ <- t.puts_ + 1);
+  Mutex.unlock t.counters
+
+let read_counter t f =
+  Mutex.lock t.counters;
+  let v = f t in
+  Mutex.unlock t.counters;
+  v
+
+(* ---------------------- replication bookkeeping -------------------- *)
+
+let with_seen t f =
+  Mutex.lock t.seen_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.seen_lock) f
+
+let entry_of t digest shard =
+  match Hashtbl.find_opt t.seen digest with
+  | Some e -> e
+  | None ->
+    let e = { shard; bits = Array.make t.cfg.replicas false } in
+    Hashtbl.replace t.seen digest e;
+    e
+
+let mark_confirmed t digest shard replica =
+  with_seen t (fun () -> (entry_of t digest shard).bits.(replica) <- true)
+
+let missing_replicas t digest shard =
+  with_seen t (fun () ->
+      let e = entry_of t digest shard in
+      List.filter (fun r -> not e.bits.(r)) (List.init t.cfg.replicas Fun.id))
+
+(* a restarted worker's store is no longer trusted to hold anything
+   the front tier saw before: drop its bits so the next read of each
+   digest re-replicates into it (read-repair) *)
+let clear_bits_for_slot t id =
+  let shard = id / t.cfg.replicas and replica = id mod t.cfg.replicas in
+  with_seen t (fun () ->
+      Hashtbl.iter (fun _ e -> if e.shard = shard then e.bits.(replica) <- false)
+        t.seen)
+
+let enqueue_repair t job =
+  Mutex.lock t.repair_lock;
+  Queue.push job t.repair_q;
+  Condition.signal t.repair_cond;
+  Mutex.unlock t.repair_lock
+
+let repair_one t job =
+  List.iter (fun replica ->
+      let id = slot_id t.cfg ~shard:job.job_shard ~replica in
+      match Supervisor.state t.sup id with
+      | Supervisor.Up _ -> (
+        let sock = worker_sock_of t.cfg ~shard:job.job_shard ~replica in
+        match
+          Client.with_connection ~timeout_s:t.cfg.attempt_timeout_s
+            (Listener.Unix_sock sock) (fun c ->
+              Client.put c job.query ~payload:job.payload)
+        with
+        | _already ->
+          mark_confirmed t job.digest job.job_shard replica;
+          bump t `Repair
+        | exception Fact_error.Error _ ->
+          (* dropped, not retried here: the next successful read of
+             this digest re-enqueues the missing replicas *)
+          Health.report_failure t.health id)
+      | _ -> ())
+    (missing_replicas t job.digest job.job_shard)
+
+let repair_loop t =
+  let rec next () =
+    Mutex.lock t.repair_lock;
+    while Queue.is_empty t.repair_q && not t.stopping do
+      Condition.wait t.repair_cond t.repair_lock
+    done;
+    if Queue.is_empty t.repair_q then Mutex.unlock t.repair_lock
+    else begin
+      let job = Queue.pop t.repair_q in
+      Mutex.unlock t.repair_lock;
+      (try repair_one t job with Fact_error.Error _ -> ());
+      next ()
+    end
+  in
+  next ()
+
+(* ----------------------------- lifecycle --------------------------- *)
+
+let start cfg =
+  mkdir_p cfg.dir;
+  for shard = 0 to cfg.shards - 1 do
+    for replica = 0 to cfg.replicas - 1 do
+      mkdir_p (worker_dir_of cfg ~shard ~replica)
+    done
+  done;
+  let n = cfg.shards * cfg.replicas in
+  let sock_of id =
+    worker_sock_of cfg ~shard:(id / cfg.replicas) ~replica:(id mod cfg.replicas)
+  in
+  let argv id =
+    let shard = id / cfg.replicas and replica = id mod cfg.replicas in
+    [|
+      cfg.binary; "serve";
+      "--addr"; "unix:" ^ worker_sock_of cfg ~shard ~replica;
+      "--store"; worker_dir_of cfg ~shard ~replica;
+    |]
+  in
+  let health =
+    Health.create ~period_s:cfg.heartbeat_period_s
+      ~fail_threshold:cfg.fail_threshold
+      ~probe:(fun id ->
+        match
+          Client.with_connection ~timeout_s:cfg.attempt_timeout_s
+            (Listener.Unix_sock (sock_of id)) Client.ping
+        with
+        | () -> true
+        | exception _ -> false)
+      ~n ()
+  in
+  (* the supervisor's on_up hook needs the cluster record, which needs
+     the supervisor: tie the knot through a ref *)
+  let on_up_ref = ref (fun (_ : int) -> ()) in
+  let sup =
+    Supervisor.create ~policy:cfg.backoff ~restart_budget:cfg.restart_budget
+      ~reset_after_s:cfg.reset_after_s ~ready_timeout_s:cfg.ready_timeout_s
+      ~on_up:(fun id -> !on_up_ref id)
+      ~binary:cfg.binary ~argv ~sock:sock_of ~n ()
+  in
+  let t =
+    {
+      cfg;
+      ring = Ring.create ~vnodes:cfg.vnodes ~shards:cfg.shards ();
+      sup;
+      health;
+      seen = Hashtbl.create 256;
+      seen_lock = Mutex.create ();
+      repair_q = Queue.create ();
+      repair_lock = Mutex.create ();
+      repair_cond = Condition.create ();
+      repair_thread = None;
+      stopping = false;
+      served_ = 0;
+      failovers_ = 0;
+      degraded_ = 0;
+      repairs_ = 0;
+      puts_ = 0;
+      counters = Mutex.create ();
+    }
+  in
+  (on_up_ref :=
+     fun id ->
+       Health.reset t.health id;
+       clear_bits_for_slot t id);
+  Supervisor.start sup;
+  Health.start health;
+  t.repair_thread <- Some (Thread.create repair_loop t);
+  t
+
+let stop t =
+  if not t.stopping then begin
+    Health.stop t.health;
+    Mutex.lock t.repair_lock;
+    t.stopping <- true;
+    Condition.broadcast t.repair_cond;
+    Mutex.unlock t.repair_lock;
+    (match t.repair_thread with
+    | Some th ->
+      t.repair_thread <- None;
+      Thread.join th
+    | None -> ());
+    Supervisor.stop t.sup
+  end
+
+(* ------------------------------ routing ---------------------------- *)
+
+let shard_of t q = Ring.shard_of t.ring (Digest.of_query q)
+
+let replica_order t digest shard =
+  let r = t.cfg.replicas in
+  let rot = Hashtbl.hash digest mod r in
+  let rank replica =
+    match Health.status t.health (slot_id t.cfg ~shard ~replica) with
+    | Health.Healthy -> 0
+    | Health.Suspect -> 1
+    | Health.Down -> 2
+  in
+  List.init r (fun i -> (rot + i) mod r)
+  |> List.stable_sort (fun a b -> Int.compare (rank a) (rank b))
+
+(* remaining deadline budget, measured against the handler's entry
+   time, so the budget covers failover attempts too *)
+let remaining_deadline ~entered deadline_s =
+  Option.map (fun d -> d -. (Unix.gettimeofday () -. entered)) deadline_s
+
+let on_success t ~digest ~shard ~replica ~query ~payload =
+  Health.report_success t.health (slot_id t.cfg ~shard ~replica);
+  mark_confirmed t digest shard replica;
+  bump t `Served;
+  if missing_replicas t digest shard <> [] then
+    enqueue_repair t { digest; query; payload; job_shard = shard }
+
+(* every replica unreachable: answer anyway, from local evaluation.
+   Bytes are identical to the one-shot CLI (both sides call
+   [Query.eval]); only throughput degrades. *)
+let degraded_eval t ~digest ~shard ~query =
+  match Query.eval query with
+  | payload ->
+    bump t `Degraded;
+    bump t `Served;
+    with_seen t (fun () -> ignore (entry_of t digest shard));
+    enqueue_repair t { digest; query; payload; job_shard = shard };
+    Wire.Payload { payload; source = Wire.Computed }
+  | exception Fact_error.Error e -> Wire.Refused e
+
+let handle_query t query deadline_s =
+  let entered = Unix.gettimeofday () in
+  let digest = Digest.of_query query in
+  let shard = Ring.shard_of t.ring digest in
+  let rec try_replicas = function
+    | [] -> degraded_eval t ~digest ~shard ~query
+    | replica :: rest -> (
+      let id = slot_id t.cfg ~shard ~replica in
+      match remaining_deadline ~entered deadline_s with
+      | Some left when left <= 0. ->
+        Wire.Refused
+          (Fact_error.Deadline_exceeded
+             { where = "Cluster.query"; budget_s = Option.value deadline_s ~default:0. })
+      | left -> (
+        let sock = worker_sock_of t.cfg ~shard ~replica in
+        match
+          Client.with_connection ~timeout_s:t.cfg.attempt_timeout_s
+            (Listener.Unix_sock sock) (fun c ->
+              Client.query c ?deadline_s:left query)
+        with
+        | payload, source ->
+          on_success t ~digest ~shard ~replica ~query ~payload;
+          Wire.Payload { payload; source }
+        | exception Fact_error.Error (Fact_error.Unavailable _ | Fact_error.Cancelled _)
+          ->
+          (* the replica is gone or shutting down; its twin may be fine *)
+          Health.report_failure t.health id;
+          bump t `Failover;
+          try_replicas rest
+        | exception Fact_error.Error e ->
+          (* deterministic or budget refusal: every replica would say
+             the same, failover only adds latency *)
+          Wire.Refused e))
+  in
+  try_replicas (replica_order t digest shard)
+
+let handle_put t query payload =
+  bump t `Put;
+  let digest = Digest.of_query query in
+  let shard = Ring.shard_of t.ring digest in
+  let results =
+    List.map (fun replica ->
+        let sock = worker_sock_of t.cfg ~shard ~replica in
+        match
+          Client.with_connection ~timeout_s:t.cfg.attempt_timeout_s
+            (Listener.Unix_sock sock) (fun c -> Client.put c query ~payload)
+        with
+        | already ->
+          mark_confirmed t digest shard replica;
+          Some already
+        | exception Fact_error.Error _ ->
+          Health.report_failure t.health (slot_id t.cfg ~shard ~replica);
+          None)
+      (List.init t.cfg.replicas Fun.id)
+  in
+  let succeeded = List.filter_map Fun.id results in
+  if succeeded = [] then
+    Wire.Refused
+      (Fact_error.Unavailable
+         { what = Printf.sprintf "Cluster.put: no replica of shard %d reachable" shard })
+  else Wire.Stored { already = List.for_all Fun.id succeeded }
+
+(* -------------------------- introspection -------------------------- *)
+
+let worker_pid t ~shard ~replica = Supervisor.pid t.sup (slot_id t.cfg ~shard ~replica)
+let worker_dir t ~shard ~replica = worker_dir_of t.cfg ~shard ~replica
+let worker_sock t ~shard ~replica = worker_sock_of t.cfg ~shard ~replica
+let worker_state t ~shard ~replica = Supervisor.state t.sup (slot_id t.cfg ~shard ~replica)
+let kill_worker t ~shard ~replica = Supervisor.kill t.sup (slot_id t.cfg ~shard ~replica)
+let pause_worker t ~shard ~replica = Supervisor.pause t.sup (slot_id t.cfg ~shard ~replica)
+let resume_worker t ~shard ~replica = Supervisor.resume t.sup (slot_id t.cfg ~shard ~replica)
+
+let served t = read_counter t (fun t -> t.served_)
+let failovers t = read_counter t (fun t -> t.failovers_)
+let degraded t = read_counter t (fun t -> t.degraded_)
+let repairs t = read_counter t (fun t -> t.repairs_)
+
+let stats_text t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "cluster shards=%d replicas=%d vnodes=%d served=%d failovers=%d \
+        degraded=%d repairs=%d puts=%d entries=%d\n"
+       t.cfg.shards t.cfg.replicas t.cfg.vnodes (served t) (failovers t)
+       (degraded t) (repairs t)
+       (read_counter t (fun t -> t.puts_))
+       (with_seen t (fun () -> Hashtbl.length t.seen)));
+  for shard = 0 to t.cfg.shards - 1 do
+    for replica = 0 to t.cfg.replicas - 1 do
+      let id = slot_id t.cfg ~shard ~replica in
+      Buffer.add_string b
+        (Printf.sprintf
+           "worker shard=%d replica=%d state=%s restarts=%d pid=%d health=%s \
+            sock=%s\n"
+           shard replica
+           (Supervisor.state_to_string (Supervisor.state t.sup id))
+           (Supervisor.restarts t.sup id)
+           (Option.value (Supervisor.pid t.sup id) ~default:0)
+           (Health.status_to_string (Health.status t.health id))
+           (worker_sock_of t.cfg ~shard ~replica))
+    done
+  done;
+  Buffer.contents b
+
+let handler t = function
+  | Wire.Query { query; deadline_s } -> handle_query t query deadline_s
+  | Wire.Put { query; payload } -> handle_put t query payload
+  | Wire.Stats -> Wire.Stats_payload (stats_text t)
+  | Wire.Ping -> Wire.Pong
+  | Wire.Shutdown -> Wire.Shutting_down (* listener-owned *)

@@ -1,0 +1,112 @@
+(** The fault-tolerant front tier: sharding, replication, read-repair,
+    graceful degradation.
+
+    A cluster runs [shards × replicas] worker processes (each a
+    supervised [fact serve] with its own content-addressed store) and
+    answers the same {!Wire} protocol as a single server — clients
+    cannot tell the difference, except that the answers keep coming
+    while workers are being killed.
+
+    {b Routing.} A query's content digest picks its shard on the
+    consistent-hash {!Ring}; within the shard, replicas are tried in
+    an order that puts {!Health}-ier replicas first (rotated per
+    digest, so read load spreads). Transport failures and typed
+    [Unavailable]/[Cancelled] refusals fail over to the next replica;
+    deterministic refusals ([Precondition], [Resource_limit],
+    [Worker_failure]) and blown deadlines return immediately — every
+    replica would refuse the same way, so failover only adds latency.
+
+    {b Replication.} The front tier tracks, per digest, which replicas
+    are known to hold the result. A freshly computed result exists on
+    one replica only; a background repair thread pushes [Put] frames
+    to the shard's other replicas ({b write-through}). When the
+    supervisor restarts a worker, its confirmation bits are dropped,
+    so the next read of any digest it owned re-replicates into its
+    store ({b read-repair}). Repaired entries are disk-sourced: a
+    warm re-serve from a surviving or repaired replica answers
+    [source=disk].
+
+    {b Degradation.} When every replica of a shard is unreachable the
+    front tier evaluates the query locally and answers
+    [source=computed] — bytes identical to the one-shot CLI, because
+    both sides call {!Query.eval}. Availability degrades to
+    single-process throughput; correctness doesn't change. *)
+
+type config = {
+  shards : int;
+  replicas : int;
+  vnodes : int;
+  dir : string;  (** root; each worker stores under [shard-S/replica-R] *)
+  binary : string;  (** worker executable, see {!Supervisor.default_binary} *)
+  restart_budget : int;
+  backoff : Fact_resilience.Backoff.policy;
+  attempt_timeout_s : float;  (** per-replica socket send/recv bound *)
+  heartbeat_period_s : float;
+  fail_threshold : int;
+  ready_timeout_s : float;
+  reset_after_s : float;
+}
+
+val config :
+  ?vnodes:int ->
+  ?binary:string ->
+  ?restart_budget:int ->
+  ?backoff:Fact_resilience.Backoff.policy ->
+  ?attempt_timeout_s:float ->
+  ?heartbeat_period_s:float ->
+  ?fail_threshold:int ->
+  ?ready_timeout_s:float ->
+  ?reset_after_s:float ->
+  dir:string ->
+  shards:int ->
+  replicas:int ->
+  unit ->
+  config
+(** Raises a typed [Precondition] error unless [shards >= 1] and
+    [replicas >= 1]. *)
+
+type t
+
+val start : config -> t
+(** Creates worker store directories, spawns and supervises all
+    workers, starts heartbeats and the repair thread. Returns once
+    every worker answered its readiness ping (or its ready timeout
+    lapsed — the worker is then routed around until it comes up). *)
+
+val handler : t -> Wire.request -> Wire.response
+(** Plug into {!Listener.start} to expose the cluster on a socket; or
+    call directly for an in-process front tier. *)
+
+val stop : t -> unit
+(** Stops heartbeats, drains the repair thread, shuts every worker
+    down. Idempotent. *)
+
+(** {2 Introspection} — stats, chaos hooks, CI assertions} *)
+
+val shard_of : t -> Query.t -> int
+val worker_pid : t -> shard:int -> replica:int -> int option
+val worker_dir : t -> shard:int -> replica:int -> string
+val worker_sock : t -> shard:int -> replica:int -> string
+val worker_state : t -> shard:int -> replica:int -> Supervisor.state
+
+val kill_worker : t -> shard:int -> replica:int -> unit
+(** [SIGKILL]; the supervisor restarts it. *)
+
+val pause_worker : t -> shard:int -> replica:int -> unit
+val resume_worker : t -> shard:int -> replica:int -> unit
+
+val served : t -> int
+(** Successfully answered queries (all sources, degraded included). *)
+
+val failovers : t -> int
+(** Replica attempts that failed and moved on to another replica. *)
+
+val degraded : t -> int
+(** Queries answered by local evaluation with every replica down. *)
+
+val repairs : t -> int
+(** Entries pushed to a replica by the repair thread. *)
+
+val stats_text : t -> string
+(** Cluster topology and counters, supervisor slot states, health
+    table — one parseable line each. *)

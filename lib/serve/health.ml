@@ -1,0 +1,108 @@
+module Fact_error = Fact_resilience.Fact_error
+
+type status = Healthy | Suspect | Down
+
+let status_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Down -> "down"
+
+type slot = { mutable failures : int; mutable probes : int }
+
+type t = {
+  period_s : float;
+  fail_threshold : int;
+  probe : int -> bool;
+  slots : slot array;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable heartbeat : Thread.t option;
+}
+
+let create ?(period_s = 0.5) ?(fail_threshold = 3) ~probe ~n () =
+  if n < 1 then
+    Fact_error.precondition ~fn:"Health.create"
+      (Printf.sprintf "need at least one slot, got %d" n);
+  if fail_threshold < 1 then
+    Fact_error.precondition ~fn:"Health.create" "fail_threshold must be >= 1";
+  {
+    period_s;
+    fail_threshold;
+    probe;
+    slots = Array.init n (fun _ -> { failures = 0; probes = 0 });
+    lock = Mutex.create ();
+    stopping = false;
+    heartbeat = None;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let slot t id =
+  if id < 0 || id >= Array.length t.slots then
+    Fact_error.precondition ~fn:"Health"
+      (Printf.sprintf "no slot %d (have %d)" id (Array.length t.slots));
+  t.slots.(id)
+
+let status t id =
+  locked t (fun () ->
+      let s = slot t id in
+      if s.failures = 0 then Healthy
+      else if s.failures >= t.fail_threshold then Down
+      else Suspect)
+
+let report_success t id = locked t (fun () -> (slot t id).failures <- 0)
+
+let report_failure t id =
+  locked t (fun () ->
+      let s = slot t id in
+      s.failures <- s.failures + 1)
+
+let reset t id = report_success t id
+
+let heartbeat_loop t =
+  let stopping () = locked t (fun () -> t.stopping) in
+  while not (stopping ()) do
+    Array.iteri (fun id _ ->
+        if not (stopping ()) then begin
+          let ok = try t.probe id with _ -> false in
+          locked t (fun () -> (slot t id).probes <- (slot t id).probes + 1);
+          if ok then report_success t id else report_failure t id
+        end)
+      t.slots;
+    (* fine-grained sleep so stop does not wait a whole period *)
+    let slept = ref 0. in
+    while (not (stopping ())) && !slept < t.period_s do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done
+
+let start t =
+  locked t (fun () ->
+      match t.heartbeat with
+      | Some _ -> ()
+      | None -> t.heartbeat <- Some (Thread.create heartbeat_loop t))
+
+let stats_lines t =
+  locked t (fun () ->
+      Array.to_list
+        (Array.mapi (fun id s ->
+             let st =
+               if s.failures = 0 then Healthy
+               else if s.failures >= t.fail_threshold then Down
+               else Suspect
+             in
+             Printf.sprintf "health id=%d status=%s failures=%d probes=%d" id
+               (status_to_string st) s.failures s.probes)
+            t.slots))
+
+let stop t =
+  locked t (fun () -> t.stopping <- true);
+  let th = locked t (fun () ->
+      let th = t.heartbeat in
+      t.heartbeat <- None;
+      th)
+  in
+  match th with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,48 @@
+(** Per-worker health, fed by heartbeats and by the routing path.
+
+    A background thread probes every slot each [period_s] (the probe
+    is a bounded ping, so a wedged worker counts as a failure rather
+    than a hang — lag beyond the probe's timeout {e is} failure).
+    Routing outcomes feed the same accounting via {!report_success} /
+    {!report_failure}, so a replica that refuses live traffic goes
+    [Suspect] before the next heartbeat tick.
+
+    One success makes a slot [Healthy]; [fail_threshold] consecutive
+    failures make it [Down]; anything in between is [Suspect]. The
+    router prefers [Healthy] over [Suspect] over [Down] — it never
+    {e excludes} a replica outright, because a [Down] verdict is only
+    a prediction and the last resort before degrading to local
+    evaluation. *)
+
+type status = Healthy | Suspect | Down
+
+val status_to_string : status -> string
+
+type t
+
+val create :
+  ?period_s:float ->
+  ?fail_threshold:int ->
+  probe:(int -> bool) ->
+  n:int ->
+  unit ->
+  t
+(** [probe id] must be bounded (ping with a timeout) and return
+    whether slot [id] answered in time. Defaults: probe every 0.5s,
+    [Down] after 3 consecutive failures. *)
+
+val start : t -> unit
+(** Starts the heartbeat thread. *)
+
+val status : t -> int -> status
+val report_success : t -> int -> unit
+val report_failure : t -> int -> unit
+
+val reset : t -> int -> unit
+(** Back to [Healthy] with a clean failure count — called when the
+    supervisor brings a restarted worker [Up] (readiness ping already
+    passed). *)
+
+val stats_lines : t -> string list
+val stop : t -> unit
+(** Stops and joins the heartbeat thread. Idempotent. *)

@@ -27,16 +27,26 @@ let addr_of_string s =
 type t = {
   addr_ : addr;
   sock : Unix.file_descr;
-  scheduler : Scheduler.t;
+  handler : Wire.request -> Wire.response;
+  on_stop : unit -> unit;
   max_frame : int;
   lock : Mutex.t;
   stopped_cond : Condition.t;
   mutable stopping : bool;
   mutable accept_done : bool;
+  mutable stopped_hook_run : bool;
   mutable accept_thread : Thread.t option;
 }
 
 let addr t = t.addr_
+
+let bound_addr t =
+  match t.addr_ with
+  | Unix_sock _ -> t.addr_
+  | Tcp (host, _) -> (
+    match Unix.getsockname t.sock with
+    | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | Unix.ADDR_UNIX _ | (exception Unix.Unix_error _) -> t.addr_)
 
 let is_stopping t =
   Mutex.lock t.lock;
@@ -68,14 +78,17 @@ let send fd resp = Wire.write_frame fd (Sexp.to_string (Wire.response_to_sexp re
 let refuse_parse msg =
   Wire.Refused (Fact_error.Precondition { fn = "Wire.request_of_sexp"; what = msg })
 
+(* [Shutdown] is a lifecycle request, owned by the listener itself;
+   every other request goes to the pluggable handler (a scheduler for
+   one worker, a {!Cluster} front tier for a sharded deployment). *)
 let handle_request t = function
-  | Wire.Query { query; deadline_s } -> (
-    match Scheduler.submit t.scheduler ?deadline_s query with
-    | Ok { payload; source } -> Wire.Payload { payload; source }
-    | Error e -> Wire.Refused e)
-  | Wire.Stats -> Wire.Stats_payload (Scheduler.stats_text t.scheduler)
-  | Wire.Ping -> Wire.Pong
   | Wire.Shutdown -> Wire.Shutting_down
+  | req -> (
+    match t.handler req with
+    | resp -> resp
+    | exception Fact_error.Error e -> Wire.Refused e
+    | exception (Failure m | Invalid_argument m) ->
+      Wire.Refused (Fact_error.Precondition { fn = "Listener.handler"; what = m }))
 
 let rec serve_conn t fd =
   match Wire.read_frame ~max_frame:t.max_frame fd with
@@ -143,12 +156,16 @@ let bind_listen addr =
      Unix.listen sock 64
    with Unix.Unix_error (err, _, _) ->
      (try Unix.close sock with Unix.Unix_error _ -> ());
-     Fact_error.precondition ~fn:"Listener.start"
-       (Printf.sprintf "cannot bind %s: %s" (addr_to_string addr)
-          (Unix.error_message err)));
+     (* typed and retryable: a supervisor restarting a just-crashed
+        shard must see exit code 7 and back off, not die on a usage
+        error, when the old owner's address lingers (EADDRINUSE) *)
+     Fact_error.unavailable
+       (Printf.sprintf "Listener.start: cannot bind %s: %s"
+          (addr_to_string addr) (Unix.error_message err)));
   sock
 
-let start ?(max_frame = Wire.default_max_frame) ~scheduler addr_ =
+let start ?(max_frame = Wire.default_max_frame) ?(on_stop = fun () -> ())
+    ~handler addr_ =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception (Invalid_argument _ | Sys_error _) -> ());
@@ -157,17 +174,38 @@ let start ?(max_frame = Wire.default_max_frame) ~scheduler addr_ =
     {
       addr_;
       sock;
-      scheduler;
+      handler;
+      on_stop;
       max_frame;
       lock = Mutex.create ();
       stopped_cond = Condition.create ();
       stopping = false;
       accept_done = false;
+      stopped_hook_run = false;
       accept_thread = None;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
+
+let scheduler_handler scheduler = function
+  | Wire.Query { query; deadline_s } -> (
+    match Scheduler.submit scheduler ?deadline_s query with
+    | Ok { Scheduler.payload; source } -> Wire.Payload { payload; source }
+    | Error e -> Wire.Refused e)
+  | Wire.Put { query; payload } -> (
+    match Scheduler.inject scheduler query ~payload with
+    | Ok `Stored -> Wire.Stored { already = false }
+    | Ok `Already -> Wire.Stored { already = true }
+    | Error e -> Wire.Refused e)
+  | Wire.Stats -> Wire.Stats_payload (Scheduler.stats_text scheduler)
+  | Wire.Ping -> Wire.Pong
+  | Wire.Shutdown -> Wire.Shutting_down (* unreachable: listener-owned *)
+
+let start_scheduler ?max_frame ~scheduler addr_ =
+  start ?max_frame
+    ~on_stop:(fun () -> Scheduler.shutdown scheduler)
+    ~handler:(scheduler_handler scheduler) addr_
 
 let wait t =
   Mutex.lock t.lock;
@@ -190,4 +228,8 @@ let stop t =
        close a recycled descriptor *)
     (try Unix.close t.sock with Unix.Unix_error _ -> ())
   | None -> ());
-  Scheduler.shutdown t.scheduler
+  Mutex.lock t.lock;
+  let first = not t.stopped_hook_run in
+  t.stopped_hook_run <- true;
+  Mutex.unlock t.lock;
+  if first then t.on_stop ()

@@ -1,9 +1,11 @@
-(** The connection front-end of [fact serve].
+(** The connection front-end of [fact serve] and [fact cluster].
 
     Accepts clients on a Unix-domain or TCP socket and speaks the
     {!Wire} protocol: each connection is served by its own thread,
-    which reads length-prefixed request frames, dispatches to the
-    shared {!Scheduler}, and writes one response frame per request.
+    which reads length-prefixed request frames, dispatches to a
+    pluggable request handler — a shared {!Scheduler} for a single
+    worker ({!start_scheduler}), a {!Cluster} front tier for a sharded
+    deployment — and writes one response frame per request.
 
     {b Fault policy.} A well-framed but malformed request (bad sexp,
     wrong version, unknown endpoint) gets a typed [Refused
@@ -24,16 +26,36 @@ val addr_to_string : addr -> string
 
 type t
 
-val start : ?max_frame:int -> scheduler:Scheduler.t -> addr -> t
-(** Binds, listens, and returns once the socket is accepting. Raises a
-    typed [Precondition] {!Fact_resilience.Fact_error} if the address
-    cannot be bound. *)
+val start :
+  ?max_frame:int ->
+  ?on_stop:(unit -> unit) ->
+  handler:(Wire.request -> Wire.response) ->
+  addr ->
+  t
+(** Binds, listens, and returns once the socket is accepting. The
+    [handler] receives every request except [Shutdown] (which the
+    listener acknowledges itself before initiating its stop path); a
+    typed {!Fact_resilience.Fact_error} it raises is turned into a
+    [Refused] response. [on_stop] runs exactly once, at the end of the
+    first completed {!stop}. Raises a typed [Unavailable] error (exit
+    code 7, retryable — think [EADDRINUSE] right after a crash) if the
+    address cannot be bound, so a supervising restart loop backs off
+    and retries instead of dying. *)
+
+val start_scheduler : ?max_frame:int -> scheduler:Scheduler.t -> addr -> t
+(** {!start} with the single-worker handler: [Query] →
+    {!Scheduler.submit}, [Put] → {!Scheduler.inject}, [Stats] →
+    {!Scheduler.stats_text}, and [on_stop] → {!Scheduler.shutdown}. *)
 
 val addr : t -> addr
 
+val bound_addr : t -> addr
+(** Like {!addr}, but with a TCP port of 0 resolved to the port the
+    kernel actually assigned. *)
+
 val stop : t -> unit
-(** Stops accepting, closes the listening socket, shuts the scheduler
-    down, and joins the accept thread. Idempotent. *)
+(** Stops accepting, closes the listening socket, joins the accept
+    thread, then runs [on_stop] (once). Idempotent. *)
 
 val wait : t -> unit
 (** Blocks until the listener stops — either {!stop} from another

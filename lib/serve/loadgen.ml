@@ -1,0 +1,116 @@
+module Fact_error = Fact_resilience.Fact_error
+module Backoff = Fact_resilience.Backoff
+
+type report = {
+  sent : int;
+  ok : int;
+  failed : int;
+  computed : int;
+  memory : int;
+  disk : int;
+  latencies_ms : int array;
+  first_error : string option;
+}
+
+let buckets = 20
+
+let bucket_of_ms ms =
+  let rec go i bound = if ms <= bound || i = buckets - 1 then i else go (i + 1) (bound *. 2.) in
+  go 0 1.
+
+type acc = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable failed : int;
+  mutable computed : int;
+  mutable memory : int;
+  mutable disk : int;
+  hist : int array;
+  mutable first_error : string option;
+}
+
+let record acc outcome ms =
+  Mutex.lock acc.lock;
+  (match outcome with
+  | Ok source -> (
+    acc.ok <- acc.ok + 1;
+    acc.hist.(bucket_of_ms ms) <- acc.hist.(bucket_of_ms ms) + 1;
+    match source with
+    | Wire.Computed -> acc.computed <- acc.computed + 1
+    | Wire.Memory -> acc.memory <- acc.memory + 1
+    | Wire.Disk -> acc.disk <- acc.disk + 1)
+  | Error msg ->
+    acc.failed <- acc.failed + 1;
+    if acc.first_error = None then acc.first_error <- Some msg);
+  Mutex.unlock acc.lock
+
+let run ?(threads = 4) ?(requests = 64) ?(retries = 4) ?backoff
+    ?(timeout_s = 10.) ?deadline_s ~queries addr =
+  if queries = [] then
+    Fact_error.precondition ~fn:"Loadgen.run" "empty query mix";
+  if threads < 1 || requests < 1 then
+    Fact_error.precondition ~fn:"Loadgen.run"
+      (Printf.sprintf "threads (%d) and requests (%d) must be >= 1" threads
+         requests);
+  let mix = Array.of_list queries in
+  let acc =
+    {
+      lock = Mutex.create ();
+      ok = 0;
+      failed = 0;
+      computed = 0;
+      memory = 0;
+      disk = 0;
+      hist = Array.make buckets 0;
+      first_error = None;
+    }
+  in
+  let one i =
+    let q = mix.(i mod Array.length mix) in
+    let t0 = Unix.gettimeofday () in
+    match
+      Client.query_with_retry ~retries ?backoff ~timeout_s ?deadline_s addr q
+    with
+    | _payload, source ->
+      record acc (Ok source) ((Unix.gettimeofday () -. t0) *. 1000.)
+    | exception Fact_error.Error e -> record acc (Error (Fact_error.to_string e)) 0.
+    | exception exn -> record acc (Error (Printexc.to_string exn)) 0.
+  in
+  let worker tid () =
+    let i = ref tid in
+    while !i < requests do
+      one !i;
+      i := !i + threads
+    done
+  in
+  let ths = List.init threads (fun tid -> Thread.create (worker tid) ()) in
+  List.iter Thread.join ths;
+  {
+    sent = requests;
+    ok = acc.ok;
+    failed = acc.failed;
+    computed = acc.computed;
+    memory = acc.memory;
+    disk = acc.disk;
+    latencies_ms = acc.hist;
+    first_error = acc.first_error;
+  }
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "loadgen sent=%d ok=%d failed=%d computed=%d memory=%d disk=%d" r.sent
+       r.ok r.failed r.computed r.memory r.disk);
+  (match r.first_error with
+  | Some e -> Buffer.add_string b (Printf.sprintf "\nloadgen first_error: %s" e)
+  | None -> ());
+  Buffer.add_string b "\nloadgen latency_ms:";
+  let bound = ref 1 in
+  Array.iteri (fun i n ->
+      if n > 0 then
+        Buffer.add_string b (Printf.sprintf " <=%d:%d" !bound n);
+      ignore i;
+      bound := !bound * 2)
+    r.latencies_ms;
+  Buffer.contents b

@@ -1,0 +1,41 @@
+(** Concurrent load generator for a [fact serve] or [fact cluster]
+    front tier — the measuring stick for the failure drills: fire a
+    burst, kill workers mid-burst, and assert that {e zero} requests
+    failed.
+
+    [threads] client threads share [requests] total queries
+    round-robin over the query mix; every request goes through
+    {!Client.query_with_retry}, so transient [Unavailable] windows
+    (a shard restarting) are absorbed by the retry budget and only
+    count as failures once the budget is exhausted. *)
+
+type report = {
+  sent : int;
+  ok : int;
+  failed : int;  (** requests whose retry budget was exhausted *)
+  computed : int;
+  memory : int;
+  disk : int;  (** per-source counts over the [ok] responses *)
+  latencies_ms : int array;
+  (** log-bucket histogram: index [i] counts round-trips in
+      [(2^(i-1), 2^i]] milliseconds (index 0: <= 1ms) *)
+  first_error : string option;  (** diagnostic for the first failure *)
+}
+
+val run :
+  ?threads:int ->
+  ?requests:int ->
+  ?retries:int ->
+  ?backoff:Fact_resilience.Backoff.policy ->
+  ?timeout_s:float ->
+  ?deadline_s:float ->
+  queries:Query.t list ->
+  Listener.addr ->
+  report
+(** Defaults: 4 threads, 64 requests, 4 retries, 10s per-attempt
+    socket timeout. Raises a typed [Precondition] error on an empty
+    query mix or non-positive [threads]/[requests]. *)
+
+val report_to_string : report -> string
+(** Parseable one-liner plus the latency histogram — the format CI
+    greps ([loadgen sent=.. ok=.. failed=0 ..]). *)

@@ -1,0 +1,48 @@
+module Fact_error = Fact_resilience.Fact_error
+
+(* points sorted by hash; hex MD5 compares lexicographically the same
+   as numerically, so plain string order is the ring order *)
+type t = { shards : int; points : (string * int) array }
+
+let create ?(vnodes = 64) ~shards () =
+  if shards < 1 then
+    Fact_error.precondition ~fn:"Ring.create"
+      (Printf.sprintf "shards must be >= 1, got %d" shards);
+  if vnodes < 1 then
+    Fact_error.precondition ~fn:"Ring.create"
+      (Printf.sprintf "vnodes must be >= 1, got %d" vnodes);
+  let points = Array.make (shards * vnodes) ("", 0) in
+  for s = 0 to shards - 1 do
+    for v = 0 to vnodes - 1 do
+      let h = Digest.of_string (Printf.sprintf "shard-%d#%d" s v) in
+      points.((s * vnodes) + v) <- (h, s)
+    done
+  done;
+  Array.sort (fun (a, sa) (b, sb) ->
+      match String.compare a b with 0 -> Int.compare sa sb | c -> c)
+    points;
+  { shards; points }
+
+let shards t = t.shards
+
+let shard_of t key =
+  let h = Digest.of_string key in
+  let n = Array.length t.points in
+  (* first point >= h, else wrap to the smallest point *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if String.compare (fst t.points.(mid)) h < 0 then search (mid + 1) hi
+      else search lo mid
+  in
+  let i = search 0 n in
+  snd t.points.(if i = n then 0 else i)
+
+let spread t keys =
+  let counts = Array.make t.shards 0 in
+  List.iter (fun k ->
+      let s = shard_of t k in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  counts

@@ -1,0 +1,27 @@
+(** Consistent-hash ring: content digest → shard index.
+
+    Each shard owns [vnodes] points on the ring (MD5 of
+    ["shard#vnode"]); a key lands on the first point at or after its
+    own hash, wrapping. The map is {b deterministic} — a front tier
+    restarted with the same shard count routes every digest to the
+    same shard, so a warm store keeps serving — and {b stable}:
+    because every shard scatters many points, growing the ring from
+    [n] to [n+1] shards remaps only ~1/(n+1) of the keyspace instead
+    of reshuffling everything, which is what keeps a resize from
+    stampeding the workers with recomputation. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [vnodes] defaults to 64 points per shard. Raises a typed
+    [Precondition] error unless [shards >= 1] and [vnodes >= 1]. *)
+
+val shards : t -> int
+
+val shard_of : t -> string -> int
+(** [shard_of t key] is the owning shard of [key] (any string — the
+    cluster uses {!Digest.of_query} hex). Total and pure. *)
+
+val spread : t -> string list -> int array
+(** Per-shard key counts for a sample of keys — balance
+    introspection, used by tests to bound skew. *)

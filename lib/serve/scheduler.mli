@@ -37,6 +37,16 @@ val submit :
 val dedup : t -> int
 (** Requests that joined an in-flight identical query. *)
 
+val inject :
+  t -> Query.t -> payload:string ->
+  ([ `Stored | `Already ], Fact_resilience.Fact_error.t) result
+(** Replication write-through / read-repair entry point (the {!Wire}
+    [Put] request): persist [payload] under the query's digest and
+    make it resident as a disk-sourced result, so later reads answer
+    [source=disk]. Idempotent — [`Already] when the identical payload
+    is both resident and on disk. After {!shutdown}, a [Cancelled]
+    error. *)
+
 val stats_text : t -> string
 (** Human-readable server statistics: per-endpoint request counts and
     latency histograms, dedup/batch counters, result-cache and store

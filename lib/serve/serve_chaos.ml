@@ -1,5 +1,6 @@
 module Fact_error = Fact_resilience.Fact_error
 module Cache = Fact_resilience.Cache
+module Backoff = Fact_resilience.Backoff
 
 type stats = {
   injected : int;
@@ -230,6 +231,268 @@ let rm_rf dir =
       files;
     (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
+(* ------------------------- cluster storms -------------------------- *)
+
+type cluster_stats = {
+  c_injected : int;
+  kills : int;
+  replica_corruptions : int;
+  stalls : int;
+  blackouts : int;
+  c_recovered : int;
+  repaired_replicas : int;
+  c_violations : string list;
+}
+
+let pp_cluster_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>cluster chaos: %d faults injected@,\
+     \ worker kills (-9)   %d@,\
+     \ replica corruptions %d@,\
+     \ heartbeat stalls    %d@,\
+     \ shard blackouts     %d@,\
+     \ recovered           %d@,\
+     \ repaired replicas   %d@,\
+     \ violations          %d@]"
+    s.c_injected s.kills s.replica_corruptions s.stalls s.blackouts
+    s.c_recovered s.repaired_replicas (List.length s.c_violations);
+  List.iter (fun v -> Format.fprintf ppf "@,  VIOLATION: %s" v) s.c_violations
+
+type cctx = {
+  crng : Random.State.t;
+  cluster : Cluster.t;
+  shards : int;
+  replicas : int;
+  creference : string;  (* one-shot [Query.eval ref_query] *)
+  ref_shard : int;
+  ref_digest : string;
+  mutable kills : int;
+  mutable replica_corruptions : int;
+  mutable stalls : int;
+  mutable blackouts : int;
+  mutable c_recovered : int;
+  mutable repaired_replicas : int;
+  mutable c_violations : string list;
+}
+
+let cviolation ctx fmt =
+  Printf.ksprintf (fun m -> ctx.c_violations <- m :: ctx.c_violations) fmt
+
+(* one front-tier query, straight through the handler *)
+let cquery ctx =
+  match
+    Cluster.handler ctx.cluster (Wire.Query { query = ref_query; deadline_s = None })
+  with
+  | Wire.Payload { payload; source } -> Ok (payload, source)
+  | Wire.Refused e -> Error (Fact_error.to_string e)
+  | _ -> Error "unexpected response shape"
+  | exception e -> Error ("untyped escape: " ^ Printexc.to_string e)
+
+(* availability invariant: after any fault, a query must succeed with
+   the byte-identical one-shot payload *)
+let ccheck ctx what =
+  match cquery ctx with
+  | Ok (payload, _) ->
+    if String.equal payload ctx.creference then
+      ctx.c_recovered <- ctx.c_recovered + 1
+    else cviolation ctx "%s: payload drifted from one-shot eval" what
+  | Error m -> cviolation ctx "%s: query failed: %s" what m
+
+let wait_state ctx ~shard ~replica ~timeout_s pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    if pred (Cluster.worker_state ctx.cluster ~shard ~replica) then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
+let wait_up ctx ~shard ~replica what =
+  if
+    not
+      (wait_state ctx ~shard ~replica ~timeout_s:15. (function
+        | Supervisor.Up _ -> true
+        | _ -> false))
+  then
+    cviolation ctx "%s: worker %d/%d not restarted (state %s)" what shard
+      replica
+      (Supervisor.state_to_string (Cluster.worker_state ctx.cluster ~shard ~replica))
+
+let ref_entry_path ctx ~replica =
+  Filename.concat
+    (Cluster.worker_dir ctx.cluster ~shard:ctx.ref_shard ~replica)
+    (ctx.ref_digest ^ ".fact")
+
+(* read-repair convergence: after a query, the replica's store must
+   regain the reference entry *)
+let wait_repaired ctx ~replica what =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec poll () =
+    if Sys.file_exists (ref_entry_path ctx ~replica) then begin
+      ctx.repaired_replicas <- ctx.repaired_replicas + 1;
+      true
+    end
+    else if Unix.gettimeofday () > deadline then begin
+      cviolation ctx "%s: read-repair did not restore replica %d of shard %d"
+        what replica ctx.ref_shard;
+      false
+    end
+    else begin
+      ignore (cquery ctx);
+      Thread.delay 0.1;
+      poll ()
+    end
+  in
+  poll ()
+
+(* kill -9 a random worker while requests are in flight *)
+let inject_kill ctx =
+  ctx.kills <- ctx.kills + 1;
+  let shard = Random.State.int ctx.crng ctx.shards in
+  let replica = Random.State.int ctx.crng ctx.replicas in
+  let outcomes = Array.make 3 (Error "no result") in
+  let clients =
+    Array.init 3 (fun i -> Thread.create (fun () -> outcomes.(i) <- cquery ctx) ())
+  in
+  Cluster.kill_worker ctx.cluster ~shard ~replica;
+  Array.iter Thread.join clients;
+  Array.iter
+    (function
+      | Ok (payload, _) ->
+        if String.equal payload ctx.creference then
+          ctx.c_recovered <- ctx.c_recovered + 1
+        else cviolation ctx "kill: mid-request payload drifted"
+      | Error m -> cviolation ctx "kill: mid-request query failed: %s" m)
+    outcomes;
+  wait_up ctx ~shard ~replica "kill";
+  ccheck ctx "kill"
+
+(* corrupt the reference entry in one replica's store, then kill that
+   worker: the restart must quarantine the garbage (never serve it)
+   and read-repair must put the entry back *)
+let inject_replica_corruption ctx =
+  ctx.replica_corruptions <- ctx.replica_corruptions + 1;
+  let replica = Random.State.int ctx.crng ctx.replicas in
+  let file = ref_entry_path ctx ~replica in
+  let garbage =
+    if Random.State.bool ctx.crng then "((store-version 1) (truncated"
+    else String.init 64 (fun _ -> Char.chr (Random.State.int ctx.crng 256))
+  in
+  (try
+     let oc = open_out file in
+     output_string oc garbage;
+     close_out oc
+   with Sys_error _ -> ());
+  Cluster.kill_worker ctx.cluster ~shard:ctx.ref_shard ~replica;
+  wait_up ctx ~shard:ctx.ref_shard ~replica "corruption";
+  ccheck ctx "corruption";
+  ignore (wait_repaired ctx ~replica "corruption")
+
+(* SIGSTOP: the worker is alive but silent; heartbeats must mark it
+   down and routing must prefer its twin *)
+let inject_stall ctx =
+  ctx.stalls <- ctx.stalls + 1;
+  let shard = Random.State.int ctx.crng ctx.shards in
+  let replica = Random.State.int ctx.crng ctx.replicas in
+  Cluster.pause_worker ctx.cluster ~shard ~replica;
+  (* two heartbeat periods at 0.2s, fail_threshold 2: health flips *)
+  Thread.delay 0.6;
+  ccheck ctx "stall";
+  Cluster.resume_worker ctx.cluster ~shard ~replica;
+  ccheck ctx "stall-resume"
+
+(* kill every replica of the reference shard at once: the front tier
+   must degrade to local evaluation rather than fail, and the shard's
+   stores must be repopulated once the workers return *)
+let inject_blackout ctx =
+  ctx.blackouts <- ctx.blackouts + 1;
+  for replica = 0 to ctx.replicas - 1 do
+    Cluster.kill_worker ctx.cluster ~shard:ctx.ref_shard ~replica
+  done;
+  ccheck ctx "blackout";
+  for replica = 0 to ctx.replicas - 1 do
+    wait_up ctx ~shard:ctx.ref_shard ~replica "blackout"
+  done;
+  ccheck ctx "blackout-recovered";
+  for replica = 0 to ctx.replicas - 1 do
+    ignore (wait_repaired ctx ~replica "blackout")
+  done
+
+let rec rm_rf_rec dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if (try Sys.is_directory p with Sys_error _ -> false) then rm_rf_rec p
+        else try Sys.remove p with Sys_error _ -> ())
+      files;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let run_cluster ?(seed = 0) ?(shards = 2) ?(replicas = 2) ~max_faults () =
+  if max_faults < 1 then
+    Fact_error.precondition ~fn:"Serve_chaos.run_cluster"
+      "max_faults must be >= 1";
+  let dir = fresh_dir () in
+  let cfg =
+    Cluster.config ~dir:(Filename.concat dir "cluster") ~shards ~replicas
+      ~attempt_timeout_s:2.
+      ~backoff:(Backoff.make ~base_ms:50. ~max_ms:500. ())
+      ~restart_budget:max_int ~reset_after_s:0.5 ~heartbeat_period_s:0.2
+      ~fail_threshold:2 ()
+  in
+  let cluster = Cluster.start cfg in
+  let finally () =
+    (try Cluster.stop cluster with _ -> ());
+    if Sys.getenv_opt "FACT_CHAOS_KEEP" = None then rm_rf_rec dir
+  in
+  Fun.protect ~finally (fun () ->
+      let creference = Query.eval ref_query in
+      let ctx =
+        {
+          crng = Random.State.make [| seed; 0xc1a5 |];
+          cluster;
+          shards;
+          replicas;
+          creference;
+          ref_shard = Cluster.shard_of cluster ref_query;
+          ref_digest = Digest.of_query ref_query;
+          kills = 0;
+          replica_corruptions = 0;
+          stalls = 0;
+          blackouts = 0;
+          c_recovered = 0;
+          repaired_replicas = 0;
+          c_violations = [];
+        }
+      in
+      (* seed the entry and let write-through replicate it *)
+      ccheck ctx "warmup";
+      for replica = 0 to replicas - 1 do
+        ignore (wait_repaired ctx ~replica "warmup")
+      done;
+      for _ = 1 to max_faults do
+        match Random.State.int ctx.crng 4 with
+        | 0 -> inject_kill ctx
+        | 1 -> inject_replica_corruption ctx
+        | 2 -> inject_stall ctx
+        | _ -> inject_blackout ctx
+      done;
+      {
+        c_injected = max_faults;
+        kills = ctx.kills;
+        replica_corruptions = ctx.replica_corruptions;
+        stalls = ctx.stalls;
+        blackouts = ctx.blackouts;
+        c_recovered = ctx.c_recovered;
+        repaired_replicas = ctx.repaired_replicas;
+        c_violations = List.rev ctx.c_violations;
+      })
+
 let run ?(seed = 0) ~max_faults () =
   if max_faults < 1 then
     Fact_error.precondition ~fn:"Serve_chaos.run" "max_faults must be >= 1";
@@ -237,7 +500,7 @@ let run ?(seed = 0) ~max_faults () =
   let sock_path = Filename.concat dir "chaos.sock" in
   let store = Store.open_dir (Filename.concat dir "store") in
   let scheduler = Scheduler.create ~store () in
-  let listener = Listener.start ~scheduler (Listener.Unix_sock sock_path) in
+  let listener = Listener.start_scheduler ~scheduler (Listener.Unix_sock sock_path) in
   let finally () =
     (try Listener.stop listener with _ -> ());
     rm_rf (Filename.concat dir "store");

@@ -40,3 +40,46 @@ val run : ?seed:int -> max_faults:int -> unit -> stats
     [Filename.get_temp_dir_name ()] and are removed on exit. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Cluster storms}
+
+    {!run_cluster} boots a real {!Cluster} — [shards × replicas]
+    supervised worker {e processes} — and storms it:
+
+    - {b kill -9 mid-request}: a random worker dies while client
+      threads are in flight; every in-flight and follow-up query must
+      still return the byte-identical one-shot payload.
+    - {b replica corruption}: the reference entry in one replica's
+      store is scribbled on and the worker killed; the restart must
+      quarantine the garbage and read-repair must restore the entry.
+    - {b heartbeat stall}: a worker is [SIGSTOP]ped; health marks it
+      down, routing prefers its twin, and service continues.
+    - {b shard blackout}: every replica of the reference shard is
+      killed at once; the front tier must degrade to local evaluation
+      (same bytes) and the shard's stores must converge again once the
+      workers return.
+
+    The invariant throughout: {e zero} failed queries, every payload
+    byte-identical to [Query.eval]. *)
+
+type cluster_stats = {
+  c_injected : int;
+  kills : int;
+  replica_corruptions : int;
+  stalls : int;
+  blackouts : int;
+  c_recovered : int;  (** faults absorbed with a correct answer *)
+  repaired_replicas : int;  (** read-repair convergence checks passed *)
+  c_violations : string list;
+}
+
+val run_cluster :
+  ?seed:int -> ?shards:int -> ?replicas:int -> max_faults:int -> unit ->
+  cluster_stats
+(** Spawns real worker processes (see {!Supervisor.default_binary};
+    set [FACT_WORKER_BIN] to override the executable). Raises a
+    [Precondition] {!Fact_resilience.Fact_error} if [max_faults < 1].
+    Everything lives under a throwaway temp directory, removed on
+    exit. *)
+
+val pp_cluster_stats : Format.formatter -> cluster_stats -> unit

@@ -10,6 +10,7 @@ type stats = {
   hits : int;
   misses : int;
   corrupt : int;
+  swept : int;
 }
 
 type t = {
@@ -20,6 +21,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable corrupt : int;
+  mutable swept : int;
 }
 
 let rec mkdir_p dir =
@@ -31,6 +33,20 @@ let rec mkdir_p dir =
     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* A crashed writer leaves a [.<digest>...tmp] behind; it was never
+   renamed, so it holds no committed data — sweep it at boot. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if Filename.check_suffix f ".tmp" then (
+          (try Sys.remove (Filename.concat dir f) with Sys_error _ -> ());
+          n + 1)
+        else n)
+      0 files
+
 let open_dir dir =
   mkdir_p dir;
   (match Sys.is_directory dir with
@@ -38,8 +54,9 @@ let open_dir dir =
   | false | (exception Sys_error _) ->
     Fact_error.precondition ~fn:"Store.open_dir"
       (Printf.sprintf "%s is not a directory" dir));
+  let swept = sweep_tmp dir in
   { dir; lock = Mutex.create (); puts = 0; gets = 0; hits = 0; misses = 0;
-    corrupt = 0 }
+    corrupt = 0; swept }
 
 let dir t = t.dir
 
@@ -69,7 +86,13 @@ let put t ~digest ~query ~payload =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (Sexp.to_string (entry_sexp ~digest ~query ~payload));
-      output_char oc '\n');
+      output_char oc '\n';
+      (* fsync before the rename: a worker killed mid-put must never
+         commit a truncated entry under a valid name. Without it the
+         rename can hit disk before the data does. *)
+      flush oc;
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
   Sys.rename tmp final;
   counted t (fun () -> t.puts <- t.puts + 1)
 
@@ -121,6 +144,8 @@ let get t ~digest =
     counted t (fun () -> t.misses <- t.misses + 1);
     None
 
+let has t ~digest = Sys.file_exists (path t digest)
+
 let digests_on_disk t =
   match Sys.readdir t.dir with
   | exception Sys_error _ -> []
@@ -145,4 +170,4 @@ let entries t = List.length (digests_on_disk t)
 let stats t =
   counted t (fun () ->
       { puts = t.puts; gets = t.gets; hits = t.hits; misses = t.misses;
-        corrupt = t.corrupt })
+        corrupt = t.corrupt; swept = t.swept })

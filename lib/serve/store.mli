@@ -4,8 +4,11 @@
     s-expression record: store format version, pipeline
     {!Digest.code_version}, the digest (self-check against renames),
     the originating query, and the payload as a quoted atom. Writes go
-    through a temp file + [rename], so a crashed writer never leaves a
-    half-written entry under a valid name.
+    through a temp file + [fsync] + [rename], so a writer crashing at
+    {e any} point — even [kill -9] mid-write, even with the data still
+    in the page cache — never commits a truncated entry under a valid
+    name. Stale temp files left by crashed writers are swept (and
+    counted) the next time the directory is opened.
 
     Reads are defensive: an entry that fails to parse, self-check, or
     match the current code version is {e removed}, counted in
@@ -20,6 +23,7 @@ type stats = {
   hits : int;
   misses : int;
   corrupt : int;  (** entries dropped as unreadable or stale *)
+  swept : int;  (** stale temp files removed at [open_dir] *)
 }
 
 val open_dir : string -> t
@@ -34,6 +38,10 @@ val put : t -> digest:string -> query:Fact_sexp.Sexp.t -> payload:string -> unit
     rename wins, contents identical by construction). *)
 
 val get : t -> digest:string -> string option
+
+val has : t -> digest:string -> bool
+(** An entry file exists under the digest's name (no validation — a
+    cheap presence probe for replication convergence checks). *)
 
 val iter :
   t ->

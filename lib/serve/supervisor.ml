@@ -1,0 +1,299 @@
+module Fact_error = Fact_resilience.Fact_error
+module Backoff = Fact_resilience.Backoff
+
+type state =
+  | Starting
+  | Up of int
+  | Restarting of int
+  | Fused
+  | Stopped
+
+let state_to_string = function
+  | Starting -> "starting"
+  | Up pid -> Printf.sprintf "up(pid=%d)" pid
+  | Restarting k -> Printf.sprintf "restarting(attempt=%d)" k
+  | Fused -> "fused"
+  | Stopped -> "stopped"
+
+type slot = {
+  id : int;
+  mutable st : state;
+  mutable proc : int;  (* last spawned pid, 0 = never *)
+  mutable spawned_at : float;
+  mutable attempts : int;  (* consecutive crash-loop exits *)
+  mutable total_restarts : int;
+  mutable monitor : Thread.t option;
+}
+
+type t = {
+  binary : string;
+  argv : int -> string array;
+  sock : int -> string;
+  policy : Backoff.policy;
+  restart_budget : int;
+  reset_after_s : float;
+  ready_timeout_s : float;
+  on_up : int -> unit;
+  slots : slot array;
+  lock : Mutex.t;
+  mutable stopping : bool;
+}
+
+let default_binary () =
+  match Sys.getenv_opt "FACT_WORKER_BIN" with
+  | Some b when b <> "" -> b
+  | _ ->
+    (* the CLI is a declared sibling dep of the test runner, so look for
+       it next to our own executable (works for any cwd); inside
+       [fact cluster] we are the worker binary ourselves *)
+    let exe_dir = Filename.dirname Sys.executable_name in
+    let candidates =
+      [
+        Filename.concat
+          (Filename.concat (Filename.dirname exe_dir) "bin")
+          "fact_cli.exe";
+        Filename.concat (Filename.concat ".." "bin") "fact_cli.exe";
+      ]
+    in
+    (match List.find_opt Sys.file_exists candidates with
+    | Some b -> b
+    | None -> Sys.executable_name)
+
+let create ?(policy = Backoff.supervisor) ?(restart_budget = 8)
+    ?(reset_after_s = 5.) ?(ready_timeout_s = 10.) ?(on_up = fun _ -> ())
+    ~binary ~argv ~sock ~n () =
+  if n < 1 then
+    Fact_error.precondition ~fn:"Supervisor.create"
+      (Printf.sprintf "need at least one slot, got %d" n);
+  {
+    binary;
+    argv;
+    sock;
+    policy;
+    restart_budget;
+    reset_after_s;
+    ready_timeout_s;
+    on_up;
+    slots =
+      Array.init n (fun id ->
+          {
+            id;
+            st = Starting;
+            proc = 0;
+            spawned_at = 0.;
+            attempts = 0;
+            total_restarts = 0;
+            monitor = None;
+          });
+    lock = Mutex.create ();
+    stopping = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let is_stopping t = locked t (fun () -> t.stopping)
+
+(* ------------------------------ spawn ------------------------------ *)
+
+let spawn_process t slot =
+  (* worker stdout/stderr land in a per-slot log next to its store, so
+     N workers cannot interleave garbage into the front tier's stdout *)
+  let log_path = t.sock slot.id ^ ".log" in
+  let log_fd =
+    try Unix.openfile log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    with Unix.Unix_error _ -> Unix.stderr
+  in
+  let argv = t.argv slot.id in
+  let pid =
+    try Unix.create_process t.binary argv Unix.stdin log_fd log_fd
+    with Unix.Unix_error (err, _, _) ->
+      if log_fd <> Unix.stderr then
+        (try Unix.close log_fd with Unix.Unix_error _ -> ());
+      Fact_error.unavailable
+        (Printf.sprintf "Supervisor: cannot spawn %s: %s" t.binary
+           (Unix.error_message err))
+  in
+  if log_fd <> Unix.stderr then
+    (try Unix.close log_fd with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      slot.proc <- pid;
+      slot.spawned_at <- Unix.gettimeofday ();
+      slot.st <- Starting);
+  pid
+
+(* Poll the worker's socket until it answers a ping. Returns [true]
+   once ready; [false] when the timeout lapses or the supervisor is
+   stopping. *)
+let wait_ready t slot pid =
+  let sock = t.sock slot.id in
+  let deadline = Unix.gettimeofday () +. t.ready_timeout_s in
+  let rec poll () =
+    if is_stopping t then false
+    else if Unix.gettimeofday () > deadline then false
+    else
+      match
+        Client.with_connection ~timeout_s:1. (Listener.Unix_sock sock)
+          Client.ping
+      with
+      | () -> true
+      | exception Fact_error.Error _ ->
+        Thread.delay 0.05;
+        poll ()
+  in
+  let ready = poll () in
+  if ready then begin
+    locked t (fun () -> if slot.proc = pid && not t.stopping then slot.st <- Up pid);
+    t.on_up slot.id
+  end;
+  ready
+
+(* ----------------------------- monitor ----------------------------- *)
+
+let rec monitor t slot pid =
+  (match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  let action =
+    locked t (fun () ->
+        if t.stopping then begin
+          slot.st <- Stopped;
+          `Exit
+        end
+        else begin
+          (* a worker that held steady earns its crash budget back *)
+          if Unix.gettimeofday () -. slot.spawned_at >= t.reset_after_s then
+            slot.attempts <- 0;
+          slot.attempts <- slot.attempts + 1;
+          if slot.attempts > t.restart_budget then begin
+            slot.st <- Fused;
+            `Exit
+          end
+          else begin
+            slot.st <- Restarting slot.attempts;
+            slot.total_restarts <- slot.total_restarts + 1;
+            `Restart (slot.attempts - 1)
+          end
+        end)
+  in
+  match action with
+  | `Exit -> ()
+  | `Restart attempt ->
+    Backoff.sleep_interruptible t.policy ~attempt ~stop:(fun () -> is_stopping t);
+    if is_stopping t then locked t (fun () -> slot.st <- Stopped)
+    else begin
+      match spawn_process t slot with
+      | pid ->
+        (* stop may have raced the respawn decision: make sure this
+           child dies too, so the next waitpid returns and the slot
+           lands in Stopped instead of wedging the join *)
+        if is_stopping t then
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (wait_ready t slot pid);
+        monitor t slot pid
+      | exception Fact_error.Error _ -> locked t (fun () -> slot.st <- Fused)
+    end
+
+let start t =
+  (* spawn everything first, then wait for readiness — boot is
+     parallel across workers instead of serial ping-wait *)
+  let pids =
+    Array.map (fun slot ->
+        let pid = spawn_process t slot in
+        slot.monitor <- Some (Thread.create (fun () -> monitor t slot pid) ());
+        pid)
+      t.slots
+  in
+  Array.iteri (fun i slot -> ignore (wait_ready t slot pids.(i))) t.slots
+
+(* -------------------------- introspection -------------------------- *)
+
+let slot t id =
+  if id < 0 || id >= Array.length t.slots then
+    Fact_error.precondition ~fn:"Supervisor"
+      (Printf.sprintf "no slot %d (have %d)" id (Array.length t.slots));
+  t.slots.(id)
+
+let state t id = locked t (fun () -> (slot t id).st)
+let restarts t id = locked t (fun () -> (slot t id).total_restarts)
+
+let pid t id =
+  locked t (fun () ->
+      match (slot t id).st with
+      | Up pid -> Some pid
+      | Starting ->
+        let p = (slot t id).proc in
+        if p > 0 then Some p else None
+      | Restarting _ | Fused | Stopped -> None)
+
+let signal t id sg =
+  match pid t id with
+  | None -> ()
+  | Some p -> ( try Unix.kill p sg with Unix.Unix_error _ -> ())
+
+let kill t id = signal t id Sys.sigkill
+let pause t id = signal t id Sys.sigstop
+let resume t id = signal t id Sys.sigcont
+
+let stats_lines t =
+  locked t (fun () ->
+      Array.to_list
+        (Array.map (fun s ->
+             Printf.sprintf "worker id=%d state=%s restarts=%d" s.id
+               (state_to_string s.st) s.total_restarts)
+            t.slots))
+
+(* ------------------------------- stop ------------------------------ *)
+
+let stop t =
+  let first =
+    locked t (fun () ->
+        let f = not t.stopping in
+        t.stopping <- true;
+        f)
+  in
+  if first then begin
+    (* a paused worker cannot answer shutdown or die on SIGTERM *)
+    Array.iter (fun s ->
+        if s.proc > 0 then
+          try Unix.kill s.proc Sys.sigcont with Unix.Unix_error _ -> ())
+      t.slots;
+    Array.iter (fun s ->
+        match locked t (fun () -> s.st) with
+        | Up _ | Starting -> (
+          match
+            Client.with_connection ~timeout_s:1.
+              (Listener.Unix_sock (t.sock s.id))
+              Client.shutdown
+          with
+          | () -> ()
+          | exception Fact_error.Error _ ->
+            if s.proc > 0 then
+              (try Unix.kill s.proc Sys.sigterm with Unix.Unix_error _ -> ()))
+        | Restarting _ | Fused | Stopped -> ())
+      t.slots;
+    (* the monitors reap; give them a grace window, then SIGKILL *)
+    let deadline = Unix.gettimeofday () +. 3. in
+    let all_down () =
+      locked t (fun () ->
+          Array.for_all (fun s ->
+              match s.st with Stopped | Fused -> true | _ -> false)
+            t.slots)
+    in
+    while (not (all_down ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.05
+    done;
+    if not (all_down ()) then
+      Array.iter (fun s ->
+          if s.proc > 0 then
+            try Unix.kill s.proc Sys.sigkill with Unix.Unix_error _ -> ())
+        t.slots
+  end;
+  Array.iter (fun s ->
+      match s.monitor with
+      | Some th ->
+        s.monitor <- None;
+        Thread.join th
+      | None -> ())
+    t.slots

@@ -1,0 +1,88 @@
+(** Process supervision for cluster workers.
+
+    Each slot owns one worker process ([fact serve] over a Unix-domain
+    socket). A monitor thread per slot blocks in [waitpid]; when the
+    child dies — crash, [kill -9], OOM — the monitor restarts it after
+    an exponential {!Fact_resilience.Backoff} delay and re-probes
+    readiness (ping until the socket answers) before declaring it
+    [Up].
+
+    {b Fuse.} A worker that crash-loops — more than [restart_budget]
+    exits without ever staying up [reset_after_s] — is {b fused}: the
+    supervisor stops restarting it and the slot reports
+    [Fused], which the routing layer treats like [Unavailable] (skip
+    the replica, fail over). A worker that holds steady for
+    [reset_after_s] earns its budget back, so occasional kills never
+    accumulate into a fuse.
+
+    Slots are identified by index [0 .. n-1]; the cluster maps
+    (shard, replica) onto slot ids. *)
+
+type state =
+  | Starting  (** spawned, socket not answering yet *)
+  | Up of int  (** live, with current pid *)
+  | Restarting of int  (** dead; attempt number of the pending respawn *)
+  | Fused  (** crash-looped past the restart budget; left down *)
+  | Stopped  (** supervisor shut the worker down *)
+
+val state_to_string : state -> string
+
+type t
+
+val default_binary : unit -> string
+(** The worker executable: [$FACT_WORKER_BIN] if set, else the
+    sibling [fact] binary from the dune build tree when running under
+    [dune runtest], else {!Sys.executable_name} (correct inside [fact
+    cluster] itself). *)
+
+val create :
+  ?policy:Fact_resilience.Backoff.policy ->
+  ?restart_budget:int ->
+  ?reset_after_s:float ->
+  ?ready_timeout_s:float ->
+  ?on_up:(int -> unit) ->
+  binary:string ->
+  argv:(int -> string array) ->
+  sock:(int -> string) ->
+  n:int ->
+  unit ->
+  t
+(** [argv id] is the full argument vector (argv.(0) included) for slot
+    [id]; [sock id] the Unix socket its worker will answer on (used
+    for readiness pings and graceful shutdown). [on_up id] fires after
+    {e every} transition to [Up] — including the first — from the
+    monitor thread; the cluster uses it to reset health and clear
+    replication bookkeeping for the restarted store. *)
+
+val start : t -> unit
+(** Spawns every slot and blocks until each is [Up] or its ready
+    timeout lapses (the slot then stays [Starting] and the monitor
+    takes over). Raises a typed [Unavailable] error if a worker binary
+    cannot be spawned at all. *)
+
+val state : t -> int -> state
+val restarts : t -> int -> int
+(** Total restarts performed for the slot, fuse resets included. *)
+
+val pid : t -> int -> int option
+(** Pid when the slot's process exists ([Starting]/[Up]). *)
+
+val kill : t -> int -> unit
+(** [SIGKILL] the slot's process (chaos / CI). The monitor notices and
+    restarts it under the normal backoff/fuse rules. No-op on a slot
+    with no live process. *)
+
+val pause : t -> int -> unit
+(** [SIGSTOP]: the process stays alive but stops answering — a
+    heartbeat-loss fault. *)
+
+val resume : t -> int -> unit
+(** [SIGCONT] after {!pause}. *)
+
+val stats_lines : t -> string list
+(** One line per slot: id, state, pid, restart count. *)
+
+val stop : t -> unit
+(** Graceful teardown: asks each live worker to shut down over its
+    socket, escalates to [SIGTERM] then [SIGKILL], reaps every child
+    and joins every monitor. Idempotent. *)

@@ -1,11 +1,12 @@
 open Fact_sexp
 module Fact_error = Fact_resilience.Fact_error
 
-let version = 1
+let version = 2
 let default_max_frame = 1 lsl 20
 
 type request =
   | Query of { query : Query.t; deadline_s : float option }
+  | Put of { query : Query.t; payload : string }
   | Stats
   | Ping
   | Shutdown
@@ -14,6 +15,7 @@ type source = Computed | Memory | Disk
 
 type response =
   | Payload of { payload : string; source : source }
+  | Stored of { already : bool }
   | Stats_payload of string
   | Pong
   | Shutting_down
@@ -54,6 +56,8 @@ let error_to_sexp (e : Fact_error.t) =
     Sexp.List
       [ Sexp.Atom "resource-limit"; f "what" (Sexp.Atom what);
         f "limit" (Sexp.int limit); f "got" (Sexp.int got) ]
+  | Fact_error.Unavailable { what } ->
+    Sexp.List [ Sexp.Atom "unavailable"; f "what" (Sexp.Atom what) ]
 
 let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
 
@@ -97,6 +101,9 @@ let error_of_sexp sx =
       let* limit = int_field sx "limit" in
       let* got = int_field sx "got" in
       Ok (Fact_error.Resource_limit { what; limit; got })
+    | "unavailable" ->
+      let* what = atom_field sx "what" in
+      Ok (Fact_error.Unavailable { what })
     | tag -> Error (Printf.sprintf "unknown error class %S" tag))
   | _ -> Error "malformed error payload"
 
@@ -119,6 +126,12 @@ let request_to_sexp = function
     in
     versioned "query"
       (Sexp.List [ Sexp.Atom "query"; Query.to_sexp query ] :: deadline)
+  | Put { query; payload } ->
+    versioned "put"
+      [
+        Sexp.List [ Sexp.Atom "query"; Query.to_sexp query ];
+        Sexp.List [ Sexp.Atom "payload"; Sexp.Atom payload ];
+      ]
   | Stats -> versioned "stats" []
   | Ping -> versioned "ping" []
   | Shutdown -> versioned "shutdown" []
@@ -143,6 +156,11 @@ let request_of_sexp sx =
           | None -> Error (Printf.sprintf "bad deadline %S" a))
       in
       Ok (Query { query; deadline_s })
+    | "put" ->
+      let* qsx = Sexp.assoc "query" sx in
+      let* query = Query.of_sexp qsx in
+      let* payload = atom_field sx "payload" in
+      Ok (Put { query; payload })
     | "stats" -> Ok Stats
     | "ping" -> Ok Ping
     | "shutdown" -> Ok Shutdown
@@ -157,6 +175,13 @@ let response_to_sexp = function
         Sexp.Atom "payload";
         Sexp.List [ Sexp.Atom "source"; Sexp.Atom (source_to_string source) ];
         Sexp.List [ Sexp.Atom "body"; Sexp.Atom payload ];
+      ]
+  | Stored { already } ->
+    Sexp.List
+      [
+        Sexp.Atom "stored";
+        Sexp.List
+          [ Sexp.Atom "already"; Sexp.Atom (if already then "true" else "false") ];
       ]
   | Stats_payload s ->
     Sexp.List
@@ -175,6 +200,15 @@ let response_of_sexp sx =
     let* source = source_of_string s in
     let* payload = atom_field sx "body" in
     Ok (Payload { payload; source })
+  | Sexp.List (Sexp.Atom "stored" :: fields) ->
+    let* a = atom_field (Sexp.List fields) "already" in
+    let* already =
+      match a with
+      | "true" -> Ok true
+      | "false" -> Ok false
+      | a -> Error (Printf.sprintf "bad already flag %S" a)
+    in
+    Ok (Stored { already })
   | Sexp.List (Sexp.Atom "stats" :: fields) ->
     let* body = atom_field (Sexp.List fields) "body" in
     Ok (Stats_payload body)

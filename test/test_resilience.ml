@@ -469,9 +469,41 @@ let test_ra_cancellation () =
   check_bool "pipeline healthy" true
     (Complex.equal (Ra.complex alpha ~n:3) reference)
 
+(* ---------------------------- backoff ----------------------------- *)
+
+let test_backoff_policy () =
+  let p = Backoff.make ~base_ms:50. ~multiplier:2. ~max_ms:400. () in
+  (* deterministic exponential growth, capped *)
+  Alcotest.(check (list (float 0.001)))
+    "schedule doubles then caps"
+    [ 50.; 100.; 200.; 400.; 400. ]
+    (Backoff.schedule p ~attempts:5);
+  (* huge attempt numbers must saturate at the cap, not overflow *)
+  Alcotest.(check (float 0.001)) "no overflow at attempt 10_000" 400.
+    (Backoff.delay_ms p ~attempt:10_000);
+  Alcotest.(check (float 0.001)) "negative attempts clamp to base" 50.
+    (Backoff.delay_ms p ~attempt:(-3));
+  (* bad policies are typed refusals, not NaN machines *)
+  check_precondition "negative base" ~fn:"Backoff.make" (fun () ->
+      Backoff.make ~base_ms:(-1.) ());
+  check_precondition "shrinking multiplier" ~fn:"Backoff.make" (fun () ->
+      Backoff.make ~multiplier:0.5 ());
+  check_precondition "cap below base" ~fn:"Backoff.make" (fun () ->
+      Backoff.make ~base_ms:100. ~max_ms:50. ())
+
+let test_backoff_interruptible () =
+  let p = Backoff.make ~base_ms:5_000. ~max_ms:5_000. () in
+  (* a stop signal cuts a long sleep short at poll granularity *)
+  let t0 = Unix.gettimeofday () in
+  Backoff.sleep_interruptible p ~attempt:0 ~stop:(fun () -> true);
+  check_bool "stop observed promptly" true (Unix.gettimeofday () -. t0 < 1.)
+
 let suite =
   [
     Alcotest.test_case "error taxonomy" `Quick test_error_taxonomy;
+    Alcotest.test_case "backoff policy" `Quick test_backoff_policy;
+    Alcotest.test_case "backoff interruptible sleep" `Quick
+      test_backoff_interruptible;
     Alcotest.test_case "cancel token" `Quick test_cancel_token;
     Alcotest.test_case "cache bounded" `Quick test_cache_bounded;
     Alcotest.test_case "cache recompute audit" `Quick

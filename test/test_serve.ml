@@ -134,6 +134,7 @@ let test_wire_roundtrip () =
     [
       Wire.Query { query = ra2; deadline_s = Some 1.5 };
       Wire.Query { query = ra2; deadline_s = None };
+      Wire.Put { query = ra2; payload = "multi\nline \"payload\"" };
       Wire.Stats; Wire.Ping; Wire.Shutdown;
     ]
   in
@@ -154,6 +155,9 @@ let test_wire_roundtrip () =
       Wire.Refused
         (Fact_error.Worker_failure { fn = "f"; failed = 1; chunks = 2; first = "e" });
       Wire.Refused (Fact_error.Resource_limit { what = "w"; limit = 1; got = 2 });
+      Wire.Refused (Fact_error.Unavailable { what = "shard 2 unreachable" });
+      Wire.Stored { already = true };
+      Wire.Stored { already = false };
     ]
   in
   List.iter
@@ -332,7 +336,7 @@ let with_server ?store f =
   let sock = Filename.concat dir "test.sock" in
   let store = Option.map (fun () -> Store.open_dir (Filename.concat dir "store")) store in
   let scheduler = Scheduler.create ?store () in
-  let listener = Listener.start ~scheduler (Listener.Unix_sock sock) in
+  let listener = Listener.start_scheduler ~scheduler (Listener.Unix_sock sock) in
   Fun.protect
     ~finally:(fun () ->
       Listener.stop listener;
@@ -421,6 +425,233 @@ let test_serve_chaos () =
   Alcotest.(check (list string)) "no violations" [] stats.Serve_chaos.violations
 
 (* ------------------------------------------------------------------ *)
+(* Crash simulation, adversarial I/O, retry / unavailable             *)
+(* ------------------------------------------------------------------ *)
+
+let chr21 = Query.Chr { n = 2; m = 1 }
+
+let test_store_crash_sim () =
+  let dir = fresh_dir () in
+  let digest = Digest.of_query ra2 in
+  let s1 = Store.open_dir dir in
+  Store.put s1 ~digest ~query:(Query.to_sexp ra2) ~payload:"committed";
+  (* a writer killed mid-put leaves an un-renamed tmp file... *)
+  let oc = open_out (Filename.concat dir ("." ^ digest ^ "dead.tmp")) in
+  output_string oc "((store-version 1) (trunc";
+  close_out oc;
+  (* ...and a crash can tear a file that carries a committed name *)
+  let torn_digest = Digest.of_query chr21 in
+  let oc = open_out (Filename.concat dir (torn_digest ^ ".fact")) in
+  output_string oc "((store-version 1) (digest";
+  close_out oc;
+  (* reboot: the tmp is swept, the torn entry quarantined, the good
+     entry served byte-for-byte *)
+  let s2 = Store.open_dir dir in
+  check "tmp swept at boot" 1 (Store.stats s2).Store.swept;
+  check_bool "no tmp files survive" false
+    (Array.exists (fun f -> Filename.check_suffix f ".tmp") (Sys.readdir dir));
+  (match Store.get s2 ~digest with
+  | Some p -> check_string "committed entry intact" "committed" p
+  | None -> Alcotest.fail "committed entry lost");
+  (match Store.get s2 ~digest:torn_digest with
+  | None -> ()
+  | Some _ -> Alcotest.fail "torn entry served");
+  check "torn entry quarantined" 1 (Store.stats s2).Store.corrupt;
+  check_bool "torn entry removed" false (Store.has s2 ~digest:torn_digest);
+  rm_rf dir
+
+let test_scheduler_inject () =
+  let dir = fresh_dir () in
+  let store = Store.open_dir dir in
+  let sched = Scheduler.create ~store () in
+  let payload = Query.eval ra2 in
+  (match Scheduler.inject sched ra2 ~payload with
+  | Ok `Stored -> ()
+  | Ok `Already -> Alcotest.fail "first inject reported already-stored"
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  (match Scheduler.inject sched ra2 ~payload with
+  | Ok `Already -> ()
+  | Ok `Stored -> Alcotest.fail "second inject not idempotent"
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  check_bool "entry on disk" true (Store.has store ~digest:(Digest.of_query ra2));
+  (* an injected entry serves as a disk-sourced result — the cluster's
+     read-repair contract: warm re-serves report source=disk *)
+  (match Scheduler.submit sched ra2 with
+  | Ok { Scheduler.payload = p; source = Wire.Disk } ->
+    check_string "injected payload served" payload p
+  | Ok { Scheduler.source = s; _ } ->
+    Alcotest.failf "expected disk source, got %s" (Wire.source_to_string s)
+  | Error e -> Alcotest.fail (Fact_error.to_string e));
+  Scheduler.shutdown sched;
+  rm_rf dir
+
+let test_wire_adversarial_io () =
+  with_server (fun addr ->
+      let sock_path =
+        match addr with Listener.Unix_sock p -> p | _ -> assert false
+      in
+      (* slow-loris: a valid ping delivered one byte at a time must be
+         assembled and answered, not misread or hung on *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock_path);
+      let req = Sexp.to_string (Wire.request_to_sexp Wire.Ping) in
+      let n = String.length req in
+      let frame = Bytes.create (4 + n) in
+      Bytes.set_int32_be frame 0 (Int32.of_int n);
+      Bytes.blit_string req 0 frame 4 n;
+      for i = 0 to Bytes.length frame - 1 do
+        ignore (Unix.write fd frame i 1);
+        if i mod 5 = 0 then Thread.delay 0.002
+      done;
+      (match Wire.read_frame ~max_frame:Wire.default_max_frame fd with
+      | Ok raw -> (
+        match Result.bind (Sexp.of_string raw) Wire.response_of_sexp with
+        | Ok Wire.Pong -> ()
+        | _ -> Alcotest.fail "slow-loris ping mis-answered")
+      | Error _ -> Alcotest.fail "no reply to slow-loris ping");
+      Unix.close fd;
+      (* mid-frame disconnect: declare 100 bytes, deliver 10, hang up;
+         only that connection dies *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock_path);
+      let partial = Bytes.create 14 in
+      Bytes.set_int32_be partial 0 100l;
+      ignore (Unix.write fd partial 0 14);
+      Unix.close fd;
+      (* the listener keeps serving fresh clients *)
+      Client.with_connection addr Client.ping)
+
+let test_bind_failure_typed () =
+  let l1 =
+    Listener.start ~handler:(fun _ -> Wire.Pong) (Listener.Tcp ("127.0.0.1", 0))
+  in
+  let port =
+    match Listener.bound_addr l1 with Listener.Tcp (_, p) -> p | _ -> 0
+  in
+  check_bool "kernel assigned a port" true (port > 0);
+  (* a second bind on a live port must be a typed, retryable refusal —
+     the EADDRINUSE a supervisor restart loop has to absorb *)
+  (match
+     Listener.start ~handler:(fun _ -> Wire.Pong)
+       (Listener.Tcp ("127.0.0.1", port))
+   with
+  | l2 ->
+    Listener.stop l2;
+    Alcotest.fail "second bind on a live port succeeded"
+  | exception Fact_error.Error e ->
+    check "bind failure maps to exit 7" 7 (Fact_error.exit_code e);
+    check_bool "bind failure is retryable" true
+      (Fact_error.is_unavailable (Fact_error.Error e)));
+  Listener.stop l1
+
+let test_client_unavailable_retry () =
+  let dir = fresh_dir () in
+  let missing = Listener.Unix_sock (Filename.concat dir "absent.sock") in
+  (match Client.connect missing with
+  | c ->
+    Client.close c;
+    Alcotest.fail "connected to a nonexistent server"
+  | exception Fact_error.Error e ->
+    check "unreachable maps to exit 7" 7 (Fact_error.exit_code e));
+  let backoff = Backoff.make ~base_ms:1. ~max_ms:2. () in
+  (match Client.query_with_retry ~retries:2 ~backoff missing ra2 with
+  | _ -> Alcotest.fail "query against nothing succeeded"
+  | exception Fact_error.Error e ->
+    check_bool "budget exhausted stays typed" true
+      (Fact_error.is_unavailable (Fact_error.Error e)));
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Ring, loadgen, cluster                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_determinism_balance () =
+  let r1 = Ring.create ~shards:4 () and r2 = Ring.create ~shards:4 () in
+  let keys = List.init 500 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k -> check "ring deterministic" (Ring.shard_of r1 k) (Ring.shard_of r2 k))
+    keys;
+  let spread = Ring.spread r1 keys in
+  check "spread accounts for every key" 500 (Array.fold_left ( + ) 0 spread);
+  Array.iter
+    (fun c -> check_bool "every shard carries load" true (c > 0))
+    spread;
+  Array.iter
+    (fun c -> check_bool "no shard owns a majority" true (c < 250))
+    spread;
+  (* consistency: adding a shard remaps a minority of the keyspace *)
+  let r5 = Ring.create ~shards:5 () in
+  let moved =
+    List.length
+      (List.filter (fun k -> Ring.shard_of r1 k <> Ring.shard_of r5 k) keys)
+  in
+  check_bool "resize moves a minority of keys" true (moved < 250)
+
+let test_loadgen_zero_failures () =
+  with_server ~store:() (fun addr ->
+      let r =
+        Loadgen.run ~threads:3 ~requests:12 ~retries:1
+          ~queries:[ ra2; chr21 ] addr
+      in
+      check "every request answered" 12 r.Loadgen.ok;
+      check "zero failures" 0 r.Loadgen.failed;
+      check "sources partition the answers" 12
+        (r.Loadgen.computed + r.Loadgen.memory + r.Loadgen.disk))
+
+let rec rm_rf_deep dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if (try Sys.is_directory p with Sys_error _ -> false) then rm_rf_deep p
+        else try Sys.remove p with Sys_error _ -> ())
+      files;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let test_cluster_e2e () =
+  let dir = fresh_dir () in
+  let cfg =
+    Cluster.config ~dir:(Filename.concat dir "c") ~shards:2 ~replicas:2
+      ~attempt_timeout_s:5.
+      ~backoff:(Backoff.make ~base_ms:50. ~max_ms:500. ())
+      ~heartbeat_period_s:0.2 ~fail_threshold:2 ()
+  in
+  let cluster = Cluster.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.stop cluster;
+      rm_rf_deep dir)
+    (fun () ->
+      let reference = Query.eval ra2 in
+      let q () =
+        match
+          Cluster.handler cluster (Wire.Query { query = ra2; deadline_s = None })
+        with
+        | Wire.Payload { payload; _ } -> payload
+        | Wire.Refused e -> Alcotest.fail (Fact_error.to_string e)
+        | _ -> Alcotest.fail "unexpected response shape"
+      in
+      check_string "cluster answer = one-shot eval" reference (q ());
+      let shard = Cluster.shard_of cluster ra2 in
+      (* one replica down: the twin serves *)
+      Cluster.kill_worker cluster ~shard ~replica:0;
+      check_string "survives a replica kill" reference (q ());
+      (* whole shard down: the front tier degrades to local eval *)
+      Cluster.kill_worker cluster ~shard ~replica:0;
+      Cluster.kill_worker cluster ~shard ~replica:1;
+      check_string "survives a shard blackout" reference (q ());
+      check_bool "faults were actually routed around" true
+        (Cluster.failovers cluster + Cluster.degraded cluster > 0))
+
+let test_cluster_chaos () =
+  let s = Serve_chaos.run_cluster ~seed:3 ~max_faults:6 () in
+  check "all faults injected" 6 s.Serve_chaos.c_injected;
+  Alcotest.(check (list string)) "no violations" [] s.Serve_chaos.c_violations;
+  check_bool "every fault recovered" true (s.Serve_chaos.c_recovered > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -443,4 +674,18 @@ let suite =
     Alcotest.test_case "client deadline typed" `Quick
       test_client_deadline_typed;
     Alcotest.test_case "serve chaos" `Slow test_serve_chaos;
+    Alcotest.test_case "store crash simulation" `Quick test_store_crash_sim;
+    Alcotest.test_case "scheduler inject (write-through)" `Quick
+      test_scheduler_inject;
+    Alcotest.test_case "wire adversarial io" `Quick test_wire_adversarial_io;
+    Alcotest.test_case "bind failure typed unavailable" `Quick
+      test_bind_failure_typed;
+    Alcotest.test_case "client unavailable + retry budget" `Quick
+      test_client_unavailable_retry;
+    Alcotest.test_case "ring determinism + balance" `Quick
+      test_ring_determinism_balance;
+    Alcotest.test_case "loadgen zero failures" `Quick
+      test_loadgen_zero_failures;
+    Alcotest.test_case "cluster end-to-end" `Slow test_cluster_e2e;
+    Alcotest.test_case "cluster chaos storm" `Slow test_cluster_chaos;
   ]
