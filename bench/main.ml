@@ -10,6 +10,7 @@
      dune exec bench/main.exe                # everything
      dune exec bench/main.exe -- fig4 mu     # selected sections
      dune exec bench/main.exe -- --json      # write BENCH_topology.json
+     dune exec bench/main.exe -- --filter ra # timed entries matching "ra" only
      dune exec bench/main.exe -- --domains 4 # fan Chr/R_A out over 4 domains *)
 
 open Fact_core.Fact
@@ -642,176 +643,14 @@ let perf () =
 
 let bench_json_file = "BENCH_topology.json"
 
+(* The timed entries live in lib/campaign/bench_entries.ml, shared
+   with [fact bench --filter]; this path runs them all and owns the
+   baseline file plus the cache/domain trailer. *)
 let bench_json () =
   section (Printf.sprintf "JSON bench baseline -> %s" bench_json_file);
-  Cache.reset_counters ();
-  (* One warmup run (which also populates the memo tables — the
-     steady-state cost is what the pipeline pays in practice), then the
-     average of [reps] timed runs. *)
-  let time_ms ~reps f =
-    ignore (Sys.opaque_identity (f ()));
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      ignore (Sys.opaque_identity (f ()))
-    done;
-    (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
-  in
-  (* Every entry reports the registry-wide cache traffic it caused as a
-     delta over its own runs (warmup included). The counters are reset
-     once above, so the trailing "caches" array stays what it always
-     was — cumulative over the whole --json run — while per-entry
-     numbers no longer smear earlier sections' hits into later ones. *)
-  let cache_totals () =
-    List.fold_left
-      (fun (h, m, e) (_, s) ->
-        (h + s.Cache.hits, m + s.Cache.misses, e + s.Cache.evictions))
-      (0, 0, 0) (Cache.all_stats ())
-  in
-  let entry_line ~name ~n ~wall_ms ~facets ~delta:(dh, dm, de) =
-    pf "%-18s n=%d %10.3f ms  facets=%d  cache hits+%d misses+%d evictions+%d@."
-      name n wall_ms facets dh dm de;
-    Printf.sprintf
-      "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d, \
-       \"cache_delta\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}}"
-      name n wall_ms facets dh dm de
-  in
-  let entry ~name ~n ~reps ~facets f =
-    let h0, m0, e0 = cache_totals () in
-    let wall_ms = time_ms ~reps f in
-    let h1, m1, e1 = cache_totals () in
-    entry_line ~name ~n ~wall_ms ~facets
-      ~delta:(h1 - h0, m1 - m0, e1 - e0)
-  in
-  let chr2_of nn = Chr.iterate 2 (Chr.standard nn) in
-  let alpha_1res = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1) in
-  let closure_host nn =
-    (* a fresh complex per run, so [closure_set] cannot hit the cache *)
-    Complex.of_facets ~n:nn (Complex.facets (Chr.standard_iterated ~m:2 ~n:nn))
-  in
-  let entries =
-    [
-      entry ~name:"chr_iterate2" ~n:3 ~reps:20 ~facets:169 (fun () ->
-          chr2_of 3);
-      entry ~name:"chr_iterate2" ~n:4 ~reps:5 ~facets:5625 (fun () ->
-          chr2_of 4);
-      entry ~name:"ra_1res" ~n:3 ~reps:50
-        ~facets:(Complex.facet_count (Ra.complex alpha_1res ~n:3))
-        (fun () -> Ra.complex alpha_1res ~n:3);
-      entry ~name:"ra_fig5b" ~n:3 ~reps:50
-        ~facets:(Complex.facet_count (Ra.complex (Lazy.force alpha_5b) ~n:3))
-        (fun () -> Ra.complex (Lazy.force alpha_5b) ~n:3);
-      (* materialized closure (Set of interned simplices) vs the
-         streaming kernel: same count, no intermediate complex. *)
-      entry ~name:"closure_chr2" ~n:4 ~reps:5
-        ~facets:(List.length (Complex.all_simplices (closure_host 4)))
-        (fun () -> List.length (Complex.all_simplices (closure_host 4)));
-      entry ~name:"closure_chr2_stream" ~n:4 ~reps:5
-        ~facets:(Complex.simplex_count (closure_host 4))
-        (fun () -> Complex.simplex_count (closure_host 4));
-      (let explore_is () =
-         let stats, _ = Harness.explore_immediate_snapshot ~n:3 () in
-         stats.Explore.runs
-       in
-       entry ~name:"explore_is" ~n:3 ~reps:3 ~facets:(explore_is ())
-         explore_is);
-      (let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
-       let explore_alg1 () =
-         (Harness.explore_algorithm1 ~alpha:wf2 ~participants:(Pset.full 2)
-            ())
-           .Explore.runs
-       in
-       entry ~name:"explore_alg1" ~n:2 ~reps:3 ~facets:(explore_alg1 ())
-         explore_alg1);
-      (* the same explorations fanned out over the domain pool; the
-         counts are bit-identical to the sequential entries above. *)
-      (let explore_is_par () =
-         let stats, _ =
-           Harness.explore_immediate_snapshot ~domains:4 ~n:3 ()
-         in
-         stats.Explore.runs
-       in
-       entry ~name:"explore_is_par" ~n:3 ~reps:3 ~facets:(explore_is_par ())
-         explore_is_par);
-      (let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
-       let explore_alg1_par () =
-         (Harness.explore_algorithm1 ~domains:4 ~alpha:wf2
-            ~participants:(Pset.full 2) ())
-           .Explore.runs
-       in
-       entry ~name:"explore_alg1_par" ~n:2 ~reps:3
-         ~facets:(explore_alg1_par ()) explore_alg1_par);
-    ]
-  in
-  (* The same R_A under a tight cache cap: steady state now pays
-     eviction churn and recomputation — the price of bounded memory. *)
-  let capped_entry =
-    let old_cap = Cache.default_cap () in
-    Cache.set_default_cap 64;
-    Cache.clear_all ();
-    Fun.protect
-      ~finally:(fun () -> Cache.set_default_cap old_cap)
-      (fun () ->
-        entry ~name:"ra_1res_cap64" ~n:3 ~reps:20
-          ~facets:(Complex.facet_count (Ra.complex alpha_1res ~n:3))
-          (fun () -> Ra.complex alpha_1res ~n:3))
-  in
-  let entries = entries @ [ capped_entry ] in
-  (* fact serve, cold vs warm: a cold one-shot pays the full pipeline
-     on empty memo tables; a warm served request is a result-cache hit
-     plus one socket round trip. *)
-  let serve_entries =
-    let dir =
-      let d = Filename.temp_file "fact-bench-serve" "" in
-      Sys.remove d;
-      Unix.mkdir d 0o700;
-      d
-    in
-    let store = Store.open_dir (Filename.concat dir "store") in
-    let scheduler = Scheduler.create ~store () in
-    let sock = Filename.concat dir "bench.sock" in
-    let listener = Listener.start_scheduler ~scheduler (Listener.Unix_sock sock) in
-    let cleanup () =
-      Listener.stop listener;
-      Array.iter
-        (fun f ->
-          try Sys.remove (Filename.concat (Store.dir store) f)
-          with Sys_error _ -> ())
-        (try Sys.readdir (Store.dir store) with Sys_error _ -> [||]);
-      List.iter
-        (fun p -> try Unix.rmdir p with Unix.Unix_error _ -> ())
-        [ Store.dir store; dir ]
-    in
-    Fun.protect ~finally:cleanup (fun () ->
-        let q = Query.Ra { n = 3; adv = Query.Preset "wait-free" } in
-        let cold =
-          let reps = 3 in
-          let h0, m0, e0 = cache_totals () in
-          let t0 = Unix.gettimeofday () in
-          for _ = 1 to reps do
-            Cache.clear_all ();
-            ignore (Sys.opaque_identity (Query.eval q))
-          done;
-          let wall_ms =
-            (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
-          in
-          let h1, m1, e1 = cache_totals () in
-          entry_line ~name:"serve_ra_cold_oneshot" ~n:3 ~wall_ms ~facets:169
-            ~delta:(h1 - h0, m1 - m0, e1 - e0)
-        in
-        Client.with_connection (Listener.Unix_sock sock) (fun c ->
-            ignore (Client.query c q);
-            let h0, m0, e0 = cache_totals () in
-            let wall_ms =
-              time_ms ~reps:50 (fun () -> Client.query c q)
-            in
-            let h1, m1, e1 = cache_totals () in
-            [
-              cold;
-              entry_line ~name:"serve_ra_warm" ~n:3 ~wall_ms ~facets:169
-                ~delta:(h1 - h0, m1 - m0, e1 - e0);
-            ]))
-  in
-  let entries = entries @ serve_entries in
+  let results = Bench_entries.run () in
+  List.iter (fun r -> pf "%s@." (Bench_entries.line r)) results;
+  let entries = List.map Bench_entries.json_line results in
   let cache_lines =
     List.map
       (fun (name, s) ->
@@ -867,25 +706,38 @@ let sections =
 
 let () =
   (* Flags: [--domains N] sets the Parallel fan-out (like FACT_DOMAINS),
-     [--json] writes the BENCH_topology.json baseline. The remaining
-     arguments are section names. *)
-  let rec parse args names json =
+     [--json] writes the BENCH_topology.json baseline, [--filter NAME]
+     runs only the timed entries whose name contains NAME (no baseline
+     file). The remaining arguments are section names. *)
+  let rec parse args names json filter =
     match args with
-    | [] -> (List.rev names, json)
-    | "--json" :: rest -> parse rest names true
+    | [] -> (List.rev names, json, filter)
+    | "--json" :: rest -> parse rest names true filter
+    | "--filter" :: f :: rest -> parse rest names json (Some f)
+    | [ "--filter" ] ->
+      pf "--filter: missing value@.";
+      exit 2
     | "--domains" :: d :: rest ->
       (match int_of_string_opt d with
       | Some d -> Parallel.set_default_domains d
       | None ->
         pf "--domains: not an integer: %s@." d;
         exit 2);
-      parse rest names json
+      parse rest names json filter
     | [ "--domains" ] ->
       pf "--domains: missing value@.";
       exit 2
-    | name :: rest -> parse rest (name :: names) json
+    | name :: rest -> parse rest (name :: names) json filter
   in
-  let names, json = parse (List.tl (Array.to_list Sys.argv)) [] false in
+  let names, json, filter =
+    parse (List.tl (Array.to_list Sys.argv)) [] false None
+  in
+  match filter with
+  | Some f ->
+    List.iter
+      (fun r -> pf "%s@." (Bench_entries.line r))
+      (Bench_entries.run ~filter:f ())
+  | None ->
   if json then bench_json ()
   else
     let requested = if names = [] then List.map fst sections else names in

@@ -15,6 +15,9 @@
      cluster   supervised sharded+replicated worker cluster front tier
      loadgen   concurrent query burst against a server or cluster
      ra        one-shot evaluation of the ra serve endpoint
+     campaign  run a declarative grid sweep (content-addressed results)
+     report    aggregate a results directory; CI regression gate
+     bench     run single timed bench entries (--filter)
 
    Adversaries are given either by a preset name
    (wait-free | t-res:T | k-of:K | fig5b) or as explicit live sets,
@@ -979,6 +982,218 @@ let ra_cmd =
                    (Query.Ra { n; adv = spec_of ~preset ~live_sets:live }))))
       $ timeout_arg $ n_arg $ preset_arg $ live_arg)
 
+(* ----------------------- campaign / report ------------------------ *)
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Campaign results directory.")
+
+let campaign_run grid_file dir backend addr_s retries backoff_ms timeout_s =
+  let spec = Grid.load grid_file in
+  let backend =
+    match backend with
+    | "local" -> Campaign_runner.Local
+    | "cluster" ->
+      Campaign_runner.Cluster
+        {
+          addr = addr_of addr_s;
+          retries;
+          backoff = Some (Backoff.make ~base_ms:backoff_ms ());
+          timeout_s;
+        }
+    | b -> failwith (Printf.sprintf "unknown backend %S (local | cluster)" b)
+  in
+  let p =
+    Campaign_runner.run ~log:print_endline ~backend ~dir spec
+  in
+  if p.Campaign_runner.failed > 0 then
+    Fact_error.raise_error
+      (Fact_error.Worker_failure
+         {
+           fn = "fact campaign";
+           failed = p.Campaign_runner.failed;
+           chunks = p.Campaign_runner.total;
+           first = "see the cell FAILED lines above";
+         })
+
+let campaign_cmd =
+  let grid_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "grid" ] ~docv:"FILE" ~doc:"Grid spec (sexp; see lib/campaign).")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "local"
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Where cells execute: local (the in-process work-stealing \
+             pool) or cluster (a running fact serve / fact cluster at \
+             --addr). Both produce byte-identical cells/ directories.")
+  in
+  let cell_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "attempt-timeout" ] ~docv:"SECS"
+          ~doc:"Socket send/receive bound per cluster request.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a declarative grid sweep: expand the spec's axis \
+          cross-product into cells, execute every cell not already \
+          answered in --dir (resume = skip), and write one \
+          content-addressed result per cell plus a timing sidecar. \
+          Exits 5 if any cell failed.")
+    Term.(
+      const (fun grid dir backend addr retries backoff_ms timeout ->
+          guarded None (fun () ->
+              campaign_run grid dir backend addr retries backoff_ms timeout))
+      $ grid_arg $ dir_arg $ backend_arg $ addr_arg $ retries_arg
+      $ backoff_ms_arg $ cell_timeout_arg)
+
+let write_or_print path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    pf "fact: wrote %s@." path
+  end
+
+let report_run dir json csv fingerprints experiments gate baseline tolerance
+    slack_ms =
+  let t = Report.load ~dir in
+  if t.Report.rows = [] then failwith (Printf.sprintf "no results in %s" dir);
+  Option.iter (fun p -> write_or_print p (Report.to_json t)) json;
+  Option.iter (fun p -> write_or_print p (Report.to_csv t)) csv;
+  Option.iter (fun p -> write_or_print p (Report.fingerprints t)) fingerprints;
+  Option.iter
+    (fun p ->
+      Report.splice ~file:p t;
+      pf "fact: spliced report into %s@." p)
+    experiments;
+  let default_output =
+    json = None && csv = None && fingerprints = None && experiments = None
+    && not gate
+  in
+  if default_output then print_string (Report.markdown t);
+  if gate then begin
+    let contents =
+      try
+        let ic = open_in_bin baseline in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error m -> failwith m
+    in
+    match Report.gate ~tolerance ~slack_ms ~baseline:contents t with
+    | Ok n -> pf "gate: %d cells within tolerance of %s@." n baseline
+    | Error violations ->
+      List.iter (fun v -> Printf.eprintf "gate: %s\n" v) violations;
+      Printf.eprintf "gate: %d regression(s) against %s\n%!"
+        (List.length violations) baseline;
+      exit 1
+  end
+
+let report_cmd =
+  let out k doc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ k ] ~docv:"FILE" ~doc:(doc ^ " (- for stdout)."))
+  in
+  let experiments_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "experiments" ] ~docv:"FILE"
+          ~doc:
+            "Splice the markdown table into FILE between the \
+             fact-report marker comments (appending the block if the \
+             markers are absent).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Compare against --baseline and exit 1 on any fingerprint \
+             change, missing cell, or wall-time above tolerance x \
+             baseline + slack.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "BENCH_campaign.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed baseline: a prior --json output.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "tolerance" ] ~docv:"X"
+          ~doc:"Multiplicative wall-time band for --gate.")
+  in
+  let slack_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "slack-ms" ] ~docv:"MS"
+          ~doc:"Absolute wall-time slack for --gate, absorbing timer \
+                noise on cells that take microseconds.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a campaign results directory: JSON/CSV tables, the \
+          deterministic fingerprint column, the EXPERIMENTS.md block, \
+          and the CI regression gate. With no output flag, prints the \
+          markdown table.")
+    Term.(
+      const (fun dir json csv fps experiments gate baseline tolerance slack ->
+          guarded None (fun () ->
+              report_run dir json csv fps experiments gate baseline tolerance
+                slack))
+      $ dir_arg $ out "json" "Write the JSON table"
+      $ out "csv" "Write the CSV table"
+      $ out "fingerprints" "Write the fingerprint listing"
+      $ experiments_arg $ gate_arg $ baseline_arg $ tolerance_arg $ slack_arg)
+
+let bench_cmd =
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"NAME"
+          ~doc:
+            "Run only the timed entries whose name contains NAME \
+             (case-insensitive substring).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Fan Chr/R_A construction out over N domains.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the timed wall-clock entries behind BENCH_topology.json \
+          (never writing the baseline file — that stays with bench/main \
+          --json, which runs them all).")
+    Term.(
+      const (fun timeout filter domains ->
+          guarded timeout (fun () ->
+              Option.iter Parallel.set_default_domains domains;
+              List.iter
+                (fun r -> print_endline (Bench_entries.line r))
+                (Bench_entries.run ?filter ())))
+      $ timeout_arg $ filter_arg $ domains_arg)
+
 (* ----------------------------- census ----------------------------- *)
 
 let census_run n =
@@ -1023,4 +1238,5 @@ let () =
        (Cmd.group info
           [ analyze_cmd; affine_cmd; run_cmd; solve_cmd; chr_cmd;
             explore_cmd; assert_cmd; chaos_cmd; census_cmd; serve_cmd;
-            client_cmd; cluster_cmd; loadgen_cmd; ra_cmd ]))
+            client_cmd; cluster_cmd; loadgen_cmd; ra_cmd; campaign_cmd;
+            report_cmd; bench_cmd ]))

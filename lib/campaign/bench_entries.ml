@@ -1,0 +1,247 @@
+module Chr = Fact_topology.Chr
+module Complex = Fact_topology.Complex
+module Pset = Fact_topology.Pset
+module Adversary = Fact_adversary.Adversary
+module Agreement = Fact_adversary.Agreement
+module Ra = Fact_affine.Ra
+module Harness = Fact_check.Harness
+module Explore = Fact_check.Explore
+module Cache = Fact_resilience.Cache
+module Fact_error = Fact_resilience.Fact_error
+module Query = Fact_serve.Query
+module Store = Fact_serve.Store
+module Scheduler = Fact_serve.Scheduler
+module Listener = Fact_serve.Listener
+module Client = Fact_serve.Client
+
+type result = {
+  name : string;
+  n : int;
+  wall_ms : float;
+  facets : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(* one warmup run (populating the memo tables: steady state is what
+   the pipeline pays in practice), then the average of [reps] runs *)
+let time_ms ~reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+
+let cache_totals () =
+  List.fold_left
+    (fun (h, m, e) (_, s) ->
+      (h + s.Cache.hits, m + s.Cache.misses, e + s.Cache.evictions))
+    (0, 0, 0) (Cache.all_stats ())
+
+let entry ~name ~n ~reps ~facets f =
+  let h0, m0, e0 = cache_totals () in
+  let wall_ms = time_ms ~reps f in
+  let h1, m1, e1 = cache_totals () in
+  {
+    name; n; wall_ms;
+    facets = facets ();
+    hits = h1 - h0;
+    misses = m1 - m0;
+    evictions = e1 - e0;
+  }
+
+(* ----------------------------- entries ----------------------------- *)
+
+let chr2_of nn = Chr.iterate 2 (Chr.standard nn)
+let alpha_1res () = Agreement.of_adversary (Adversary.t_resilient ~n:3 ~t:1)
+let alpha_5b () = Agreement.of_adversary Adversary.fig5b
+
+let closure_host nn =
+  (* a fresh complex per run, so [closure_set] cannot hit the cache *)
+  Complex.of_facets ~n:nn (Complex.facets (Chr.standard_iterated ~m:2 ~n:nn))
+
+let chr_entries () =
+  [
+    entry ~name:"chr_iterate2" ~n:3 ~reps:20 ~facets:(fun () -> 169)
+      (fun () -> chr2_of 3);
+    entry ~name:"chr_iterate2" ~n:4 ~reps:5 ~facets:(fun () -> 5625)
+      (fun () -> chr2_of 4);
+  ]
+
+let ra_entries () =
+  let a1 = alpha_1res () and a5b = alpha_5b () in
+  [
+    entry ~name:"ra_1res" ~n:3 ~reps:50
+      ~facets:(fun () -> Complex.facet_count (Ra.complex a1 ~n:3))
+      (fun () -> Ra.complex a1 ~n:3);
+    entry ~name:"ra_fig5b" ~n:3 ~reps:50
+      ~facets:(fun () -> Complex.facet_count (Ra.complex a5b ~n:3))
+      (fun () -> Ra.complex a5b ~n:3);
+  ]
+
+(* materialized closure (Set of interned simplices) vs the streaming
+   kernel: same count, no intermediate complex *)
+let closure_entries () =
+  [
+    entry ~name:"closure_chr2" ~n:4 ~reps:5
+      ~facets:(fun () -> List.length (Complex.all_simplices (closure_host 4)))
+      (fun () -> List.length (Complex.all_simplices (closure_host 4)));
+    entry ~name:"closure_chr2_stream" ~n:4 ~reps:5
+      ~facets:(fun () -> Complex.simplex_count (closure_host 4))
+      (fun () -> Complex.simplex_count (closure_host 4));
+  ]
+
+let explore_is ?domains () =
+  let stats, _ = Harness.explore_immediate_snapshot ?domains ~n:3 () in
+  stats.Explore.runs
+
+let explore_alg1 ?domains () =
+  let wf2 = Agreement.of_adversary (Adversary.wait_free 2) in
+  (Harness.explore_algorithm1 ?domains ~alpha:wf2 ~participants:(Pset.full 2)
+     ())
+    .Explore.runs
+
+let explore_entries () =
+  [
+    entry ~name:"explore_is" ~n:3 ~reps:3 ~facets:(explore_is ?domains:None)
+      (explore_is ?domains:None);
+    entry ~name:"explore_alg1" ~n:2 ~reps:3
+      ~facets:(explore_alg1 ?domains:None)
+      (explore_alg1 ?domains:None);
+    (* the same explorations fanned out over the domain pool; the
+       counts are bit-identical to the sequential entries above *)
+    entry ~name:"explore_is_par" ~n:3 ~reps:3
+      ~facets:(fun () -> explore_is ~domains:4 ())
+      (fun () -> explore_is ~domains:4 ());
+    entry ~name:"explore_alg1_par" ~n:2 ~reps:3
+      ~facets:(fun () -> explore_alg1 ~domains:4 ())
+      (fun () -> explore_alg1 ~domains:4 ());
+  ]
+
+(* the same R_A under a tight cache cap: steady state now pays
+   eviction churn and recomputation — the price of bounded memory *)
+let capped_entries () =
+  let a1 = alpha_1res () in
+  let old_cap = Cache.default_cap () in
+  Cache.set_default_cap 64;
+  Cache.clear_all ();
+  Fun.protect
+    ~finally:(fun () -> Cache.set_default_cap old_cap)
+    (fun () ->
+      [
+        entry ~name:"ra_1res_cap64" ~n:3 ~reps:20
+          ~facets:(fun () -> Complex.facet_count (Ra.complex a1 ~n:3))
+          (fun () -> Ra.complex a1 ~n:3);
+      ])
+
+(* fact serve, cold vs warm: a cold one-shot pays the full pipeline on
+   empty memo tables; a warm served request is a result-cache hit plus
+   one socket round trip *)
+let serve_entries () =
+  let dir =
+    let d = Filename.temp_file "fact-bench-serve" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let store = Store.open_dir (Filename.concat dir "store") in
+  let scheduler = Scheduler.create ~store () in
+  let sock = Filename.concat dir "bench.sock" in
+  let listener = Listener.start_scheduler ~scheduler (Listener.Unix_sock sock) in
+  let cleanup () =
+    Listener.stop listener;
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat (Store.dir store) f)
+        with Sys_error _ -> ())
+      (try Sys.readdir (Store.dir store) with Sys_error _ -> [||]);
+    List.iter
+      (fun p -> try Unix.rmdir p with Unix.Unix_error _ -> ())
+      [ Store.dir store; dir ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let q = Query.Ra { n = 3; adv = Query.Preset "wait-free" } in
+      let cold =
+        let reps = 3 in
+        let h0, m0, e0 = cache_totals () in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          Cache.clear_all ();
+          ignore (Sys.opaque_identity (Query.eval q))
+        done;
+        let wall_ms =
+          (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+        in
+        let h1, m1, e1 = cache_totals () in
+        {
+          name = "serve_ra_cold_oneshot"; n = 3; wall_ms; facets = 169;
+          hits = h1 - h0; misses = m1 - m0; evictions = e1 - e0;
+        }
+      in
+      Client.with_connection (Listener.Unix_sock sock) (fun c ->
+          ignore (Client.query c q);
+          let h0, m0, e0 = cache_totals () in
+          let wall_ms = time_ms ~reps:50 (fun () -> Client.query c q) in
+          let h1, m1, e1 = cache_totals () in
+          [
+            cold;
+            {
+              name = "serve_ra_warm"; n = 3; wall_ms; facets = 169;
+              hits = h1 - h0; misses = m1 - m0; evictions = e1 - e0;
+            };
+          ]))
+
+(* advertised names, execution order; groups share setup *)
+let groups :
+    (string list * (unit -> result list)) list Lazy.t =
+  lazy
+    [
+      ([ "chr_iterate2"; "chr_iterate2" ], chr_entries);
+      ([ "ra_1res"; "ra_fig5b" ], ra_entries);
+      ([ "closure_chr2"; "closure_chr2_stream" ], closure_entries);
+      ( [ "explore_is"; "explore_alg1"; "explore_is_par"; "explore_alg1_par" ],
+        explore_entries );
+      ([ "ra_1res_cap64" ], capped_entries);
+      ([ "serve_ra_cold_oneshot"; "serve_ra_warm" ], serve_entries);
+    ]
+
+let names = List.concat_map fst (Lazy.force groups)
+
+let matches filter name =
+  match filter with
+  | None -> true
+  | Some f ->
+    let fl = String.lowercase_ascii f and nl = String.lowercase_ascii name in
+    let n = String.length nl and m = String.length fl in
+    let rec go i =
+      i + m <= n && (String.sub nl i m = fl || go (i + 1))
+    in
+    m = 0 || go 0
+
+let run ?filter () =
+  (match filter with
+  | Some f when not (List.exists (matches (Some f)) names) ->
+    Fact_error.precondition ~fn:"Bench_entries.run"
+      (Printf.sprintf "--filter %S matches no entry (entries: %s)" f
+         (String.concat " " (List.sort_uniq compare names)))
+  | _ -> ());
+  Cache.reset_counters ();
+  List.concat_map
+    (fun (group_names, run_group) ->
+      if List.exists (matches filter) group_names then
+        List.filter (fun r -> matches filter r.name) (run_group ())
+      else [])
+    (Lazy.force groups)
+
+let line r =
+  Printf.sprintf
+    "%-18s n=%d %10.3f ms  facets=%d  cache hits+%d misses+%d evictions+%d"
+    r.name r.n r.wall_ms r.facets r.hits r.misses r.evictions
+
+let json_line r =
+  Printf.sprintf
+    "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d, \
+     \"cache_delta\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}}"
+    r.name r.n r.wall_ms r.facets r.hits r.misses r.evictions

@@ -1,0 +1,38 @@
+(** The timed wall-clock entries behind [BENCH_topology.json].
+
+    Extracted from [bench/main.ml] so that [fact bench --filter NAME]
+    and CI can run single entries without the whole suite. Each entry
+    times a steady-state computation (one warmup run, then the mean of
+    [reps] timed runs) and reports the registry-wide cache-counter
+    delta it caused.
+
+    Entries are {b stateful by design}: they share the process-wide
+    memo caches, so running a subset produces the same wall numbers
+    but different cache deltas than a full [--json] sweep. The JSON
+    baseline is only ever written from a full, unfiltered run. *)
+
+type result = {
+  name : string;
+  n : int;
+  wall_ms : float;
+  facets : int;  (** the size figure the entry checks (facets, counts, runs) *)
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val names : string list
+(** Advertised entry names, in execution order (duplicates carry
+    different [n]). *)
+
+val run : ?filter:string -> unit -> result list
+(** Run the entries whose name contains [filter] (all of them when
+    omitted), in declared order. Resets the cache counters first.
+    Raises a typed [Precondition] error when [filter] matches
+    nothing. *)
+
+val line : result -> string
+(** The human-readable ledger line [bench --json] prints. *)
+
+val json_line : result -> string
+(** The [BENCH_topology.json] entry object. *)

@@ -1,0 +1,379 @@
+open Fact_sexp
+module Fact_error = Fact_resilience.Fact_error
+module Query = Fact_serve.Query
+
+let layout_version = "fact-campaign-1"
+
+type cell = {
+  endpoint : string;
+  adversary : string;
+  n : int;
+  m : int;
+  protocol : string;
+  max_runs : int;
+  domains : int;
+  cache_cap : int option;
+  seed : int;
+  deadline_s : float option;
+}
+
+type axis = { axis : string; values : string list }
+
+type spec = {
+  name_ : string;
+  seed_ : int;
+  deadline_s_ : float option;
+  axes_ : axis list;  (* declared order; defaults appended *)
+  prune_ : (string * string) list list;
+}
+
+let name s = s.name_
+let seed s = s.seed_
+
+let endpoints = [ "ra"; "chr"; "critical"; "setcon"; "fairness"; "explore" ]
+
+(* axis name -> default values; also the canonical nesting order *)
+let axis_defaults =
+  [
+    ("endpoint", []);
+    ("adversary", [ "wait-free" ]);
+    ("n", [ "3" ]);
+    ("m", [ "1" ]);
+    ("protocol", [ "is" ]);
+    ("max-runs", [ "10000" ]);
+    ("domains", [ "1" ]);
+    ("cache-cap", [ "default" ]);
+  ]
+
+(* ------------------------------ sexp ------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let float_atom f =
+  (* %.17g round-trips every float; %g keeps whole seconds short *)
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let atom_of sx = Sexp.to_atom sx
+let int_of sx = Sexp.to_int sx
+
+let to_sexp s =
+  let field k v = Sexp.List [ Sexp.Atom k; v ] in
+  let axes =
+    List.map
+      (fun a ->
+        Sexp.List [ Sexp.Atom a.axis; Sexp.list (List.map Sexp.atom a.values) ])
+      s.axes_
+  in
+  let prune =
+    List.map
+      (fun clause ->
+        Sexp.list
+          (List.map
+             (fun (k, v) -> Sexp.List [ Sexp.Atom k; Sexp.Atom v ])
+             clause))
+      s.prune_
+  in
+  Sexp.List
+    ([
+       field "name" (Sexp.Atom s.name_);
+       field "seed" (Sexp.int s.seed_);
+     ]
+    @ (match s.deadline_s_ with
+      | None -> []
+      | Some d -> [ field "deadline-s" (Sexp.Atom (float_atom d)) ])
+    @ [ field "axes" (Sexp.list axes) ]
+    @ if prune = [] then [] else [ field "prune" (Sexp.list prune) ])
+
+let parse_axis sx =
+  match sx with
+  | Sexp.List [ Sexp.Atom axis; Sexp.List values ] ->
+    if not (List.mem_assoc axis axis_defaults) then
+      Error
+        (Printf.sprintf "unknown axis %S (known: %s)" axis
+           (String.concat " " (List.map fst axis_defaults)))
+    else if values = [] then Error (Printf.sprintf "axis %S is empty" axis)
+    else
+      let* values = Sexp.map_result atom_of values in
+      Ok { axis; values }
+  | _ -> Error "axis must be (name (value ...))"
+
+let parse_clause sx =
+  match sx with
+  | Sexp.List pairs ->
+    Sexp.map_result
+      (function
+        | Sexp.List [ Sexp.Atom k; Sexp.Atom v ] when List.mem_assoc k axis_defaults ->
+          Ok (k, v)
+        | _ -> Error "prune clause entry must be (axis value)")
+      pairs
+  | _ -> Error "prune clause must be ((axis value) ...)"
+
+let of_sexp sx =
+  let* name_sx = Sexp.assoc "name" sx in
+  let* name_ = atom_of name_sx in
+  let* seed_ =
+    match Sexp.assoc "seed" sx with
+    | Ok v -> int_of v
+    | Error _ -> Ok 42
+  in
+  let* deadline_s_ =
+    match Sexp.assoc "deadline-s" sx with
+    | Error _ -> Ok None
+    | Ok v ->
+      let* a = atom_of v in
+      (match float_of_string_opt a with
+      | Some f when f > 0. -> Ok (Some f)
+      | _ -> Error (Printf.sprintf "bad deadline-s %S" a))
+  in
+  let* axes_sx = Sexp.assoc "axes" sx in
+  let* axes_ =
+    match axes_sx with
+    | Sexp.List l -> Sexp.map_result parse_axis l
+    | _ -> Error "axes must be a list of (name (value ...))"
+  in
+  let dup =
+    List.find_opt
+      (fun a -> List.length (List.filter (fun b -> b.axis = a.axis) axes_) > 1)
+      axes_
+  in
+  let* () =
+    match dup with
+    | Some a -> Error (Printf.sprintf "axis %S declared twice" a.axis)
+    | None -> Ok ()
+  in
+  let* () =
+    if List.exists (fun a -> a.axis = "endpoint") axes_ then Ok ()
+    else Error "the endpoint axis is required"
+  in
+  let* prune_ =
+    match Sexp.assoc "prune" sx with
+    | Error _ -> Ok []
+    | Ok (Sexp.List l) -> Sexp.map_result parse_clause l
+    | Ok _ -> Error "prune must be a list of clauses"
+  in
+  (* materialize defaults for absent axes, in canonical order *)
+  let axes_ =
+    axes_
+    @ List.filter_map
+        (fun (axis, values) ->
+          if values = [] || List.exists (fun a -> a.axis = axis) axes_ then None
+          else Some { axis; values })
+        axis_defaults
+  in
+  Ok { name_; seed_; deadline_s_; axes_; prune_ }
+
+let of_string s =
+  let* sx = Sexp.of_string s in
+  of_sexp sx
+
+(* Spec files may carry [;] line comments; the core sexp reader does
+   not, so strip them here (outside double-quoted atoms only). *)
+let strip_comments s =
+  let b = Buffer.create (String.length s) in
+  let in_string = ref false and in_comment = ref false in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\n' ->
+        in_comment := false;
+        Buffer.add_char b ch
+      | _ when !in_comment -> ()
+      | '"' ->
+        in_string := not !in_string;
+        Buffer.add_char b ch
+      | ';' when not !in_string -> in_comment := true
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let load path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> Fact_error.precondition ~fn:"Grid.load" m
+  in
+  match of_string (strip_comments contents) with
+  | Ok s -> s
+  | Error m ->
+    Fact_error.precondition ~fn:"Grid.load"
+      (Printf.sprintf "%s: %s" path m)
+
+(* ------------------------------ cells ------------------------------ *)
+
+let cell_to_sexp c =
+  let field k v = Sexp.List [ Sexp.Atom k; v ] in
+  Sexp.List
+    [
+      field "endpoint" (Sexp.Atom c.endpoint);
+      field "adversary" (Sexp.Atom c.adversary);
+      field "n" (Sexp.int c.n);
+      field "m" (Sexp.int c.m);
+      field "protocol" (Sexp.Atom c.protocol);
+      field "max-runs" (Sexp.int c.max_runs);
+      field "domains" (Sexp.int c.domains);
+      field "cache-cap"
+        (Sexp.Atom
+           (match c.cache_cap with
+           | None -> "default"
+           | Some cap -> string_of_int cap));
+      field "seed" (Sexp.int c.seed);
+      field "deadline-s"
+        (Sexp.Atom
+           (match c.deadline_s with
+           | None -> "none"
+           | Some d -> float_atom d));
+    ]
+
+let cell_of_sexp sx =
+  let atom_field k =
+    let* v = Sexp.assoc k sx in
+    atom_of v
+  in
+  let int_field k =
+    let* v = Sexp.assoc k sx in
+    int_of v
+  in
+  let* endpoint = atom_field "endpoint" in
+  let* adversary = atom_field "adversary" in
+  let* n = int_field "n" in
+  let* m = int_field "m" in
+  let* protocol = atom_field "protocol" in
+  let* max_runs = int_field "max-runs" in
+  let* domains = int_field "domains" in
+  let* cache_cap =
+    let* a = atom_field "cache-cap" in
+    if a = "default" then Ok None
+    else
+      match int_of_string_opt a with
+      | Some cap -> Ok (Some cap)
+      | None -> Error (Printf.sprintf "bad cache-cap %S" a)
+  in
+  let* seed = int_field "seed" in
+  let* deadline_s =
+    let* a = atom_field "deadline-s" in
+    if a = "none" then Ok None
+    else
+      match float_of_string_opt a with
+      | Some d -> Ok (Some d)
+      | None -> Error (Printf.sprintf "bad deadline-s %S" a)
+  in
+  Ok
+    {
+      endpoint; adversary; n; m; protocol; max_runs; domains; cache_cap;
+      seed; deadline_s;
+    }
+
+let digest c =
+  Fact_serve.Digest.of_string
+    (Fact_serve.Digest.code_version ^ "\n" ^ layout_version ^ "\n"
+    ^ Sexp.to_string (cell_to_sexp c))
+
+let canonicalize c =
+  let c = if c.endpoint = "chr" then c else { c with m = 0 } in
+  let c =
+    if c.endpoint = "explore" then c
+    else { c with protocol = "-"; max_runs = 0 }
+  in
+  if c.endpoint = "chr" || c.endpoint = "explore" then
+    { c with adversary = "-" }
+  else c
+
+let fail fmt = Printf.ksprintf (Fact_error.precondition ~fn:"Grid.cells") fmt
+
+let int_value ~axis v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail "axis %s: not an integer: %S" axis v
+
+let cell_of_point s point =
+  let get axis = List.assoc axis point in
+  let endpoint = get "endpoint" in
+  if not (List.mem endpoint endpoints) then
+    fail "unknown endpoint %S (known: %s)" endpoint
+      (String.concat " " endpoints);
+  let cache_cap =
+    match get "cache-cap" with
+    | "default" -> None
+    | v -> Some (int_value ~axis:"cache-cap" v)
+  in
+  canonicalize
+    {
+      endpoint;
+      adversary = get "adversary";
+      n = int_value ~axis:"n" (get "n");
+      m = int_value ~axis:"m" (get "m");
+      protocol = get "protocol";
+      max_runs = int_value ~axis:"max-runs" (get "max-runs");
+      domains = int_value ~axis:"domains" (get "domains");
+      cache_cap;
+      seed = s.seed_;
+      deadline_s = s.deadline_s_;
+    }
+
+let pruned s point =
+  List.exists
+    (fun clause ->
+      List.for_all
+        (fun (axis, value) ->
+          match List.assoc_opt axis point with
+          | Some v -> v = value
+          | None -> false)
+        clause)
+    s.prune_
+
+let cells s =
+  (* cross product in the canonical nesting order, whatever the
+     declaration order was — resuming depends on a stable cell list *)
+  let axes =
+    List.map
+      (fun (axis, _) ->
+        match List.find_opt (fun a -> a.axis = axis) s.axes_ with
+        | Some a -> a
+        | None -> { axis; values = [ "unreachable" ] })
+      axis_defaults
+  in
+  let rec expand acc = function
+    | [] -> [ List.rev acc ]
+    | a :: rest ->
+      List.concat_map
+        (fun v -> expand ((a.axis, v) :: acc) rest)
+        a.values
+  in
+  let points = expand [] axes in
+  let cells =
+    List.filter_map
+      (fun point ->
+        if pruned s point then None else Some (cell_of_point s point))
+      points
+  in
+  (* canonicalization can alias grid points; keep the first of each *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun c ->
+      let d = digest c in
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    cells
+
+(* ------------------------------ query ------------------------------ *)
+
+let query c =
+  let adv = Query.Preset c.adversary in
+  match c.endpoint with
+  | "ra" -> Query.Ra { n = c.n; adv }
+  | "chr" -> Query.Chr { n = c.n; m = c.m }
+  | "critical" -> Query.Critical { n = c.n; adv }
+  | "setcon" -> Query.Setcon { n = c.n; adv }
+  | "fairness" -> Query.Fairness { n = c.n; adv }
+  | "explore" ->
+    Query.Explore { protocol = c.protocol; n = c.n; max_runs = c.max_runs }
+  | ep ->
+    Fact_error.precondition ~fn:"Grid.query"
+      (Printf.sprintf "unknown endpoint %S" ep)

@@ -1,0 +1,102 @@
+(** Declarative grid-sweep specifications.
+
+    A campaign is a cross-product over named axes, compiled to a list
+    of {e cells} — one canonical {!Fact_serve.Query} invocation each,
+    with its own deadline and seed. The spec is one s-expression:
+
+    {v
+((name ci-smoke)
+ (seed 42)
+ (deadline-s 30)
+ (axes
+  ((endpoint (ra setcon))
+   (adversary (wait-free t-res:1))
+   (n (2 3))
+   (domains (1 2))
+   (cache-cap (default 64))))
+ (prune
+  (((endpoint setcon) (n 2)))))
+    v}
+
+    Axes (all optional except [endpoint]):
+    - [endpoint]: [ra | chr | critical | setcon | fairness | explore]
+    - [adversary]: preset names ([wait-free | fig5b | t-res:T | k-of:K]);
+      ignored by [chr]/[explore] cells (canonicalized to [-])
+    - [n]: universe sizes
+    - [m]: subdivision iterations ([chr] only; default [(1)])
+    - [protocol]: [is | alg1] ([explore] only; default [(is)])
+    - [max-runs]: execution budgets ([explore] only; default [(10000)])
+    - [domains]: {!Fact_topology.Parallel} fan-out widths (default [(1)])
+    - [cache-cap]: {!Fact_resilience.Cache} default caps — an integer
+      or the atom [default] (default [(default)])
+
+    [domains] and [cache-cap] are {e environment} axes: by the
+    repository's determinism invariants they cannot change a payload,
+    only its cost, so sweeping them probes exactly that invariant.
+
+    [prune] lists clauses of [(axis value)] pairs; a grid point
+    matching {e every} pair of {e some} clause is dropped (values
+    compare as the literal axis strings, before canonicalization).
+
+    {b Canonicalization.} Fields an endpoint does not consume are
+    forced to fixed values ([m] to 0 off-[chr], [protocol]/[max-runs]
+    to [-]/0 off-[explore], [adversary] to [-] on [chr]/[explore]),
+    then cells with equal digests are deduplicated keeping the first —
+    so [(endpoint (chr)) (adversary (wait-free fig5b))] yields one
+    cell, not two aliases of it. *)
+
+open Fact_sexp
+
+type cell = {
+  endpoint : string;
+  adversary : string;  (** preset name, or [-] when not consumed *)
+  n : int;
+  m : int;  (** chr only; 0 otherwise *)
+  protocol : string;  (** explore only; [-] otherwise *)
+  max_runs : int;  (** explore only; 0 otherwise *)
+  domains : int;
+  cache_cap : int option;  (** [None] = process default *)
+  seed : int;
+  deadline_s : float option;
+}
+
+type spec
+
+val layout_version : string
+(** Salts {!digest} alongside {!Fact_serve.Digest.code_version}; bump
+    on any change to the cell or result layout. *)
+
+val name : spec -> string
+val seed : spec -> int
+
+val cells : spec -> cell list
+(** Expanded, pruned, canonicalized, deduplicated — in deterministic
+    nesting order (endpoint outermost, cache-cap innermost). *)
+
+val of_sexp : Sexp.t -> (spec, string) result
+val to_sexp : spec -> Sexp.t
+(** Round-trips through {!of_sexp}: axes in declared order, defaults
+    materialized. *)
+
+val of_string : string -> (spec, string) result
+
+val load : string -> spec
+(** Read a spec file. Raises a typed [Precondition]
+    {!Fact_resilience.Fact_error} on unreadable files or malformed
+    specs. *)
+
+val cell_to_sexp : cell -> Sexp.t
+(** Canonical: fixed field order, so equal cells render to equal
+    strings — {!digest} relies on this. *)
+
+val cell_of_sexp : Sexp.t -> (cell, string) result
+
+val digest : cell -> string
+(** Content address: MD5 of the canonical cell rendering, salted with
+    {!Fact_serve.Digest.code_version} and the campaign layout version —
+    a pipeline or layout bump silently invalidates every stored
+    result. Lowercase hex, 32 chars. *)
+
+val query : cell -> Fact_serve.Query.t
+(** The canonical invocation this cell stands for. Raises a typed
+    [Precondition] error on an endpoint no query implements. *)

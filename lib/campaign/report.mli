@@ -1,0 +1,63 @@
+(** Aggregate a results directory; gate CI on regressions.
+
+    [fact report] folds [cells/] + [timings/] into machine-readable
+    tables (JSON one cell per line, CSV), a fingerprint listing,
+    a markdown table it splices into EXPERIMENTS.md between marker
+    comments, and — the CI teeth — {!gate}: compare wall-time and
+    fingerprint columns against a committed baseline (itself a prior
+    {!to_json} output) with a multiplicative tolerance band plus an
+    absolute slack, and report every violated cell.
+
+    Wall-time percentiles come from the same {!Fact_serve.Histogram}
+    accessor the scheduler's stats and [fact loadgen] print, so "p95"
+    means the same thing everywhere. *)
+
+type row = { record : Results.record; timing : Results.timing option }
+
+type t = {
+  rows : row list;  (** sorted by (endpoint, n, adversary, …, digest) *)
+  quarantined : int;
+}
+
+val load : dir:string -> t
+
+val hist : t -> Fact_serve.Histogram.t
+(** Per-cell wall times folded into the repository's log-bucket
+    histogram. *)
+
+val to_json : t -> string
+(** One cell object per line — both the [--json] output and the
+    baseline format {!gate} reads. *)
+
+val to_csv : t -> string
+
+val fingerprints : t -> string
+(** ["<digest> <payload-md5> <outcome>\n"] per cell, sorted by digest:
+    the deterministic column, for byte-comparing two runs. *)
+
+val markdown : t -> string
+(** The EXPERIMENTS.md table (includes wall-time columns, so it is
+    regenerated, never hand-edited). *)
+
+val begin_marker : string
+val end_marker : string
+
+val splice : file:string -> t -> unit
+(** Replace the block between {!begin_marker} and {!end_marker} in
+    [file] (append the block if the markers are absent), tmp+rename.
+    Raises a typed [Precondition] error if the file has a begin marker
+    without an end marker. *)
+
+val gate :
+  ?tolerance:float ->
+  ?slack_ms:float ->
+  baseline:string ->
+  t ->
+  (int, string list) result
+(** [gate ~baseline:(contents of a committed {!to_json})] checks, per
+    baseline cell: it exists in the current run, its fingerprint
+    (payload MD5 + outcome) is unchanged, and its wall time is at most
+    [tolerance * baseline + slack_ms] (defaults: 4.0, 50 ms). Extra
+    current cells pass silently — growing a grid is not a regression.
+    [Ok n] reports the number of compared cells; [Error] carries one
+    line per violation. *)

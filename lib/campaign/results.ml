@@ -1,0 +1,253 @@
+open Fact_sexp
+module Fact_error = Fact_resilience.Fact_error
+
+let version = Grid.layout_version
+
+type record = {
+  cell : Grid.cell;
+  digest : string;
+  outcome : string;
+  payload_md5 : string;
+  payload_bytes : int;
+  payload_lines : int;
+}
+
+type timing = {
+  backend : string;
+  source : string;
+  wall_ms : float;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  domains : int;
+  error : string option;
+}
+
+let class_of_error : Fact_error.t -> string = function
+  | Fact_error.Precondition _ -> "precondition"
+  | Fact_error.Deadline_exceeded _ -> "deadline"
+  | Fact_error.Cancelled _ -> "cancelled"
+  | Fact_error.Worker_failure _ -> "worker-failure"
+  | Fact_error.Resource_limit _ -> "resource-limit"
+  | Fact_error.Unavailable _ -> "unavailable"
+
+let make_record ~cell ~outcome ~payload =
+  {
+    cell;
+    digest = Grid.digest cell;
+    outcome;
+    payload_md5 = Stdlib.Digest.to_hex (Stdlib.Digest.string payload);
+    payload_bytes = String.length payload;
+    payload_lines =
+      String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 payload;
+  }
+
+(* ------------------------------ layout ----------------------------- *)
+
+let cells_dir dir = Filename.concat dir "cells"
+let timings_dir dir = Filename.concat dir "timings"
+let quarantine_dir dir = Filename.concat dir "quarantine"
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let init dir =
+  List.iter mkdir_p [ cells_dir dir; timings_dir dir; quarantine_dir dir ]
+
+let record_path ~dir ~digest =
+  Filename.concat (cells_dir dir) (digest ^ ".result")
+
+let timing_path ~dir ~digest =
+  Filename.concat (timings_dir dir) (digest ^ ".timing")
+
+(* ------------------------------ sexp ------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field k v = Sexp.List [ Sexp.Atom k; v ]
+
+let record_to_sexp r =
+  Sexp.List
+    [
+      field "version" (Sexp.Atom version);
+      field "cell" (Grid.cell_to_sexp r.cell);
+      field "digest" (Sexp.Atom r.digest);
+      field "outcome" (Sexp.Atom r.outcome);
+      field "payload-md5" (Sexp.Atom r.payload_md5);
+      field "payload-bytes" (Sexp.int r.payload_bytes);
+      field "payload-lines" (Sexp.int r.payload_lines);
+    ]
+
+let atom_field k sx =
+  let* v = Sexp.assoc k sx in
+  Sexp.to_atom v
+
+let int_field k sx =
+  let* v = Sexp.assoc k sx in
+  Sexp.to_int v
+
+let record_of_sexp sx =
+  let* v = atom_field "version" sx in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "version %S, want %S" v version)
+  in
+  let* cell_sx = Sexp.assoc "cell" sx in
+  let* cell = Grid.cell_of_sexp cell_sx in
+  let* digest = atom_field "digest" sx in
+  let* () =
+    if digest = Grid.digest cell then Ok ()
+    else Error "digest does not match cell"
+  in
+  let* outcome = atom_field "outcome" sx in
+  let* payload_md5 = atom_field "payload-md5" sx in
+  let* payload_bytes = int_field "payload-bytes" sx in
+  let* payload_lines = int_field "payload-lines" sx in
+  Ok { cell; digest; outcome; payload_md5; payload_bytes; payload_lines }
+
+let timing_to_sexp t =
+  Sexp.List
+    ([
+       field "backend" (Sexp.Atom t.backend);
+       field "source" (Sexp.Atom t.source);
+       field "wall-ms" (Sexp.Atom (Printf.sprintf "%.3f" t.wall_ms));
+       field "cache-hits" (Sexp.int t.cache_hits);
+       field "cache-misses" (Sexp.int t.cache_misses);
+       field "cache-evictions" (Sexp.int t.cache_evictions);
+       field "domains" (Sexp.int t.domains);
+     ]
+    @
+    match t.error with
+    | None -> []
+    | Some e -> [ field "error" (Sexp.Atom e) ])
+
+let timing_of_sexp sx =
+  let* backend = atom_field "backend" sx in
+  let* source = atom_field "source" sx in
+  let* wall_ms =
+    let* a = atom_field "wall-ms" sx in
+    match float_of_string_opt a with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad wall-ms %S" a)
+  in
+  let* cache_hits = int_field "cache-hits" sx in
+  let* cache_misses = int_field "cache-misses" sx in
+  let* cache_evictions = int_field "cache-evictions" sx in
+  let* domains = int_field "domains" sx in
+  let error =
+    match atom_field "error" sx with Ok e -> Some e | Error _ -> None
+  in
+  Ok
+    {
+      backend; source; wall_ms; cache_hits; cache_misses; cache_evictions;
+      domains; error;
+    }
+
+(* ------------------------------- io -------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* tmp+rename in the destination directory, so the rename cannot cross
+   a filesystem boundary and readers never see a partial file *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let write ~dir r t =
+  if String.length r.digest <> 32 then
+    Fact_error.precondition ~fn:"Results.write"
+      (Printf.sprintf "bad digest %S" r.digest);
+  write_atomic
+    (record_path ~dir ~digest:r.digest)
+    (Sexp.to_string (record_to_sexp r) ^ "\n");
+  write_atomic
+    (timing_path ~dir ~digest:r.digest)
+    (Sexp.to_string (timing_to_sexp t) ^ "\n")
+
+(* move a corrupt file out of the way, never deleting evidence; a
+   numeric suffix disambiguates repeat offenders *)
+let quarantine ~dir path =
+  mkdir_p (quarantine_dir dir);
+  let base = Filename.concat (quarantine_dir dir) (Filename.basename path) in
+  let rec fresh i =
+    let candidate = if i = 0 then base else Printf.sprintf "%s.%d" base i in
+    if Sys.file_exists candidate then fresh (i + 1) else candidate
+  in
+  try Sys.rename path (fresh 0) with Sys_error _ -> ()
+
+let parse_record ~expected_digest contents =
+  let* sx = Sexp.of_string contents in
+  let* r = record_of_sexp sx in
+  match expected_digest with
+  | Some d when d <> r.digest -> Error "filename disagrees with digest"
+  | _ -> Ok r
+
+let load_record ~dir ~digest =
+  let path = record_path ~dir ~digest in
+  if not (Sys.file_exists path) then None
+  else
+    match read_file path with
+    | exception Sys_error _ -> None
+    | contents -> (
+      match parse_record ~expected_digest:(Some digest) contents with
+      | Ok r -> Some r
+      | Error _ ->
+        quarantine ~dir path;
+        None)
+
+let completed ~dir ~digest = load_record ~dir ~digest <> None
+
+let load_timing ~dir ~digest =
+  let path = timing_path ~dir ~digest in
+  if not (Sys.file_exists path) then None
+  else
+    match read_file path with
+    | exception Sys_error _ -> None
+    | contents -> (
+      match Result.bind (Sexp.of_string contents) timing_of_sexp with
+      | Ok t -> Some t
+      | Error _ ->
+        quarantine ~dir path;
+        None)
+
+let load ~dir =
+  let entries =
+    match Sys.readdir (cells_dir dir) with
+    | exception Sys_error _ -> [||]
+    | a -> a
+  in
+  Array.sort compare entries;
+  let rows =
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           match Filename.chop_suffix_opt ~suffix:".result" name with
+           | None -> None
+           | Some digest -> (
+             match load_record ~dir ~digest with
+             | None -> None
+             | Some r -> Some (r, load_timing ~dir ~digest)))
+  in
+  let quarantined =
+    match Sys.readdir (quarantine_dir dir) with
+    | exception Sys_error _ -> 0
+    | a -> Array.length a
+  in
+  (rows, quarantined)

@@ -87,6 +87,12 @@ module Supervisor = Fact_serve.Supervisor
 module Health = Fact_serve.Health
 module Cluster = Fact_serve.Cluster
 module Loadgen = Fact_serve.Loadgen
+module Histogram = Fact_serve.Histogram
+module Grid = Fact_campaign.Grid
+module Campaign_results = Fact_campaign.Results
+module Campaign_runner = Fact_campaign.Runner
+module Report = Fact_campaign.Report
+module Bench_entries = Fact_campaign.Bench_entries
 
 type classification = {
   superset_closed : bool;

@@ -12,12 +12,6 @@ type report = {
   first_error : string option;
 }
 
-let buckets = 20
-
-let bucket_of_ms ms =
-  let rec go i bound = if ms <= bound || i = buckets - 1 then i else go (i + 1) (bound *. 2.) in
-  go 0 1.
-
 type acc = {
   lock : Mutex.t;
   mutable ok : int;
@@ -25,7 +19,7 @@ type acc = {
   mutable computed : int;
   mutable memory : int;
   mutable disk : int;
-  hist : int array;
+  hist : Histogram.t;
   mutable first_error : string option;
 }
 
@@ -34,7 +28,7 @@ let record acc outcome ms =
   (match outcome with
   | Ok source -> (
     acc.ok <- acc.ok + 1;
-    acc.hist.(bucket_of_ms ms) <- acc.hist.(bucket_of_ms ms) + 1;
+    Histogram.add acc.hist ms;
     match source with
     | Wire.Computed -> acc.computed <- acc.computed + 1
     | Wire.Memory -> acc.memory <- acc.memory + 1
@@ -61,7 +55,7 @@ let run ?(threads = 4) ?(requests = 64) ?(retries = 4) ?backoff
       computed = 0;
       memory = 0;
       disk = 0;
-      hist = Array.make buckets 0;
+      hist = Histogram.create ();
       first_error = None;
     }
   in
@@ -92,7 +86,7 @@ let run ?(threads = 4) ?(requests = 64) ?(retries = 4) ?backoff
     computed = acc.computed;
     memory = acc.memory;
     disk = acc.disk;
-    latencies_ms = acc.hist;
+    latencies_ms = Histogram.counts acc.hist;
     first_error = acc.first_error;
   }
 
@@ -105,12 +99,9 @@ let report_to_string r =
   (match r.first_error with
   | Some e -> Buffer.add_string b (Printf.sprintf "\nloadgen first_error: %s" e)
   | None -> ());
+  let h = Histogram.of_counts r.latencies_ms in
+  Buffer.add_string b
+    (Printf.sprintf "\nloadgen latency %s" (Histogram.percentiles_line h));
   Buffer.add_string b "\nloadgen latency_ms:";
-  let bound = ref 1 in
-  Array.iteri (fun i n ->
-      if n > 0 then
-        Buffer.add_string b (Printf.sprintf " <=%d:%d" !bound n);
-      ignore i;
-      bound := !bound * 2)
-    r.latencies_ms;
+  Buffer.add_string b (Histogram.pp_counts_line h);
   Buffer.contents b

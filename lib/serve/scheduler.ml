@@ -13,16 +13,6 @@ end)
 type cached = { query_sx : Sexp.t; payload : string; from_disk : bool }
 type outcome = { payload : string; source : Wire.source }
 
-(* Latency histogram: log-spaced millisecond buckets, last = overflow. *)
-let bucket_bounds_ms = [| 1.; 3.; 10.; 30.; 100.; 300.; 1000.; 3000. |]
-
-type hist = {
-  mutable count : int;
-  mutable total_ms : float;
-  mutable max_ms : float;
-  buckets : int array; (* length bucket_bounds_ms + 1 *)
-}
-
 type job = {
   digest : string;
   query : Query.t;
@@ -40,7 +30,7 @@ type t = {
   in_flight : (string, job) Hashtbl.t;
   cache : cached Result_cache.t;
   store_ : Store.t option;
-  hists : (string, hist) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
   mutable dedup_ : int;
   mutable injected : int;
   mutable batches : int;
@@ -56,23 +46,11 @@ let record_latency t endpoint ms =
     match Hashtbl.find_opt t.hists endpoint with
     | Some h -> h
     | None ->
-      let h =
-        { count = 0; total_ms = 0.; max_ms = 0.;
-          buckets = Array.make (Array.length bucket_bounds_ms + 1) 0 }
-      in
+      let h = Histogram.create () in
       Hashtbl.add t.hists endpoint h;
       h
   in
-  h.count <- h.count + 1;
-  h.total_ms <- h.total_ms +. ms;
-  if ms > h.max_ms then h.max_ms <- ms;
-  let rec bucket i =
-    if i >= Array.length bucket_bounds_ms then i
-    else if ms <= bucket_bounds_ms.(i) then i
-    else bucket (i + 1)
-  in
-  let i = bucket 0 in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  Histogram.add h ms
 
 (* ---------------------------- executor ---------------------------- *)
 
@@ -256,6 +234,16 @@ let dedup t =
   Mutex.unlock t.lock;
   d
 
+let latency t endpoint =
+  Mutex.lock t.lock;
+  let h =
+    Option.map
+      (fun h -> Histogram.of_counts (Histogram.counts h))
+      (Hashtbl.find_opt t.hists endpoint)
+  in
+  Mutex.unlock t.lock;
+  h
+
 (* Replication write path: persist an already-computed result under
    its digest and make it resident as a disk-sourced entry, so a
    subsequent read here answers [source=disk] without recomputing.
@@ -337,17 +325,10 @@ let stats_text t =
   if hists = [] then pf "  (no requests yet)\n";
   List.iter
     (fun (ep, h) ->
-      pf "  %-10s count=%d mean_ms=%.3f max_ms=%.3f\n" ep h.count
-        (if h.count = 0 then 0. else h.total_ms /. float_of_int h.count)
-        h.max_ms;
-      pf "  %-10s hist:" "";
-      Array.iteri
-        (fun i c ->
-          if i < Array.length bucket_bounds_ms then
-            pf " <=%gms:%d" bucket_bounds_ms.(i) c
-          else pf " >%gms:%d" bucket_bounds_ms.(Array.length bucket_bounds_ms - 1) c)
-        h.buckets;
-      pf "\n")
+      pf "  %-10s count=%d mean_ms=%.3f max_ms=%.3f %s\n" ep
+        (Histogram.count h) (Histogram.mean_ms h) (Histogram.max_ms h)
+        (Histogram.percentiles_line h);
+      pf "  %-10s hist:%s\n" "" (Histogram.pp_counts_line h))
     hists;
   pf "scheduler: dedup_joins=%d batches=%d max_batch=%d jobs_run=%d injected=%d\n"
     dedup_ batches max_batch jobs_run injected;

@@ -37,6 +37,13 @@ val submit :
 val dedup : t -> int
 (** Requests that joined an in-flight identical query. *)
 
+val latency : t -> string -> Histogram.t option
+(** [latency t endpoint]: a snapshot of the endpoint's log-bucket
+    latency histogram (request lifetime in ms, queueing included), or
+    [None] if the endpoint was never hit. Feed it to
+    {!Histogram.percentile} for p50/p95/p99 — the same accessor
+    [fact loadgen] and [fact report] use. *)
+
 val inject :
   t -> Query.t -> payload:string ->
   ([ `Stored | `Already ], Fact_resilience.Fact_error.t) result

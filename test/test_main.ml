@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "fact"
-    [ ("topology", Test_topology.suite); ("adversary", Test_adversary.suite); ("affine", Test_affine.suite); ("runtime", Test_runtime.suite); ("tasks", Test_tasks.suite); ("check", Test_check.suite); ("assertion", Test_assertion.suite); ("resilience", Test_resilience.suite); ("serve", Test_serve.suite) ]
+    [ ("topology", Test_topology.suite); ("adversary", Test_adversary.suite); ("affine", Test_affine.suite); ("runtime", Test_runtime.suite); ("tasks", Test_tasks.suite); ("check", Test_check.suite); ("assertion", Test_assertion.suite); ("resilience", Test_resilience.suite); ("serve", Test_serve.suite); ("campaign", Test_campaign.suite) ]
