@@ -707,13 +707,14 @@ let sections =
 let () =
   (* Flags: [--domains N] sets the Parallel fan-out (like FACT_DOMAINS),
      [--json] writes the BENCH_topology.json baseline, [--filter NAME]
-     runs only the timed entries whose name contains NAME (no baseline
-     file). The remaining arguments are section names. *)
-  let rec parse args names json filter =
+     (repeatable) runs only the timed entries whose name contains one
+     of the NAMEs (no baseline file). The remaining arguments are
+     section names. *)
+  let rec parse args names json filters =
     match args with
-    | [] -> (List.rev names, json, filter)
-    | "--json" :: rest -> parse rest names true filter
-    | "--filter" :: f :: rest -> parse rest names json (Some f)
+    | [] -> (List.rev names, json, List.rev filters)
+    | "--json" :: rest -> parse rest names true filters
+    | "--filter" :: f :: rest -> parse rest names json (f :: filters)
     | [ "--filter" ] ->
       pf "--filter: missing value@.";
       exit 2
@@ -723,21 +724,25 @@ let () =
       | None ->
         pf "--domains: not an integer: %s@." d;
         exit 2);
-      parse rest names json filter
+      parse rest names json filters
     | [ "--domains" ] ->
       pf "--domains: missing value@.";
       exit 2
-    | name :: rest -> parse rest (name :: names) json filter
+    | name :: rest -> parse rest (name :: names) json filters
   in
-  let names, json, filter =
-    parse (List.tl (Array.to_list Sys.argv)) [] false None
+  let names, json, filters =
+    parse (List.tl (Array.to_list Sys.argv)) [] false []
   in
-  match filter with
-  | Some f ->
-    List.iter
-      (fun r -> pf "%s@." (Bench_entries.line r))
-      (Bench_entries.run ~filter:f ())
-  | None ->
+  match filters with
+  | _ :: _ -> (
+    (* an unknown --filter is a usage error, not a crash: name the
+       valid entries and exit like the CLI does *)
+    match Bench_entries.run ~filters () with
+    | results -> List.iter (fun r -> pf "%s@." (Bench_entries.line r)) results
+    | exception Fact_error.Error e ->
+      Printf.eprintf "bench: %s\n%!" (Fact_error.to_string e);
+      exit (Fact_error.exit_code e))
+  | [] ->
   if json then bench_json ()
   else
     let requested = if names = [] then List.map fst sections else names in

@@ -1064,8 +1064,30 @@ let write_or_print path contents =
     pf "fact: wrote %s@." path
   end
 
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error m -> failwith m
+
+(* --trend bypasses the results directory entirely: it compares
+   committed baseline files (campaign --json outputs or
+   BENCH_topology.json snapshots), oldest first on the command line. *)
+let trend_run trends csv =
+  let inputs = List.map (fun p -> (Filename.basename p, read_file p)) trends in
+  match csv with
+  | Some p -> write_or_print p (Report.trend ~format:`Csv inputs)
+  | None -> print_string (Report.trend ~format:`Md inputs)
+
 let report_run dir json csv fingerprints experiments gate baseline tolerance
     slack_ms =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> failwith "report: --dir is required (unless using --trend)"
+  in
   let t = Report.load ~dir in
   if t.Report.rows = [] then failwith (Printf.sprintf "no results in %s" dir);
   Option.iter (fun p -> write_or_print p (Report.to_json t)) json;
@@ -1082,14 +1104,7 @@ let report_run dir json csv fingerprints experiments gate baseline tolerance
   in
   if default_output then print_string (Report.markdown t);
   if gate then begin
-    let contents =
-      try
-        let ic = open_in_bin baseline in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      with Sys_error m -> failwith m
-    in
+    let contents = read_file baseline in
     match Report.gate ~tolerance ~slack_ms ~baseline:contents t with
     | Ok n -> pf "gate: %d cells within tolerance of %s@." n baseline
     | Error violations ->
@@ -1100,6 +1115,14 @@ let report_run dir json csv fingerprints experiments gate baseline tolerance
   end
 
 let report_cmd =
+  (* --dir is only meaningful (and then mandatory) outside --trend
+     mode, so it is optional at the cmdliner layer *)
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Campaign results directory.")
+  in
   let out k doc =
     Arg.(
       value
@@ -1145,32 +1168,46 @@ let report_cmd =
           ~doc:"Absolute wall-time slack for --gate, absorbing timer \
                 noise on cells that take microseconds.")
   in
+  let trend_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "trend" ] ~docv:"FILE"
+          ~doc:
+            "Line up the wall-time columns of several committed baseline \
+             JSONs (campaign --json outputs or BENCH_topology.json \
+             snapshots), oldest first; repeatable. Prints a markdown \
+             trajectory table, or CSV with --csv; ignores --dir.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Aggregate a campaign results directory: JSON/CSV tables, the \
           deterministic fingerprint column, the EXPERIMENTS.md block, \
           and the CI regression gate. With no output flag, prints the \
-          markdown table.")
+          markdown table. With --trend, compare baseline files across \
+          time instead of reading a results directory.")
     Term.(
-      const (fun dir json csv fps experiments gate baseline tolerance slack ->
+      const
+        (fun dir json csv fps experiments gate baseline tolerance slack trends ->
           guarded None (fun () ->
-              report_run dir json csv fps experiments gate baseline tolerance
-                slack))
+              if trends <> [] then trend_run trends csv
+              else
+                report_run dir json csv fps experiments gate baseline tolerance
+                  slack))
       $ dir_arg $ out "json" "Write the JSON table"
       $ out "csv" "Write the CSV table"
       $ out "fingerprints" "Write the fingerprint listing"
-      $ experiments_arg $ gate_arg $ baseline_arg $ tolerance_arg $ slack_arg)
+      $ experiments_arg $ gate_arg $ baseline_arg $ tolerance_arg $ slack_arg
+      $ trend_arg)
 
 let bench_cmd =
   let filter_arg =
     Arg.(
-      value
-      & opt (some string) None
+      value & opt_all string []
       & info [ "filter" ] ~docv:"NAME"
           ~doc:
             "Run only the timed entries whose name contains NAME \
-             (case-insensitive substring).")
+             (case-insensitive substring; repeatable, matching any).")
   in
   let domains_arg =
     Arg.(
@@ -1179,20 +1216,67 @@ let bench_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Fan Chr/R_A construction out over N domains.")
   in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Compare the entries run against --baseline and exit 1 when \
+             any is slower than tolerance x baseline + slack or \
+             allocates past its minor-word budget.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "BENCH_topology.json"
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed baseline: a prior bench --json output.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "tolerance" ] ~docv:"X"
+          ~doc:"Multiplicative wall-time band for --gate.")
+  in
+  let slack_arg =
+    Arg.(
+      value & opt float 50.
+      & info [ "slack-ms" ] ~docv:"MS"
+          ~doc:"Absolute wall-time slack for --gate.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Run the timed wall-clock entries behind BENCH_topology.json \
           (never writing the baseline file — that stays with bench/main \
-          --json, which runs them all).")
+          --json, which runs them all). With --gate, compare the entries \
+          run against the committed baseline's wall-time and GC columns.")
     Term.(
-      const (fun timeout filter domains ->
+      const (fun timeout filters domains gate baseline tolerance slack ->
           guarded timeout (fun () ->
               Option.iter Parallel.set_default_domains domains;
+              let results = Bench_entries.run ~filters () in
               List.iter
                 (fun r -> print_endline (Bench_entries.line r))
-                (Bench_entries.run ?filter ())))
-      $ timeout_arg $ filter_arg $ domains_arg)
+                results;
+              if gate then begin
+                let contents = read_file baseline in
+                match
+                  Bench_entries.gate ~tolerance ~slack_ms:slack
+                    ~baseline:contents results
+                with
+                | Ok n ->
+                  pf "gate: %d entr%s within tolerance of %s@." n
+                    (if n = 1 then "y" else "ies")
+                    baseline
+                | Error violations ->
+                  List.iter (fun v -> Printf.eprintf "gate: %s\n" v) violations;
+                  Printf.eprintf "gate: %d regression(s) against %s\n%!"
+                    (List.length violations) baseline;
+                  Stdlib.exit 1
+              end))
+      $ timeout_arg $ filter_arg $ domains_arg $ gate_arg $ baseline_arg
+      $ tolerance_arg $ slack_arg)
 
 (* ----------------------------- census ----------------------------- *)
 

@@ -18,21 +18,64 @@ type result = {
   name : string;
   n : int;
   wall_ms : float;
+  p99_ms : float option;
   facets : int;
+  minor_words : float;
+  major_words : float;
+  minor_collections : float;
+  major_collections : float;
   hits : int;
   misses : int;
   evictions : int;
 }
 
 (* one warmup run (populating the memo tables: steady state is what
-   the pipeline pays in practice), then the average of [reps] runs *)
-let time_ms ~reps f =
+   the pipeline pays in practice), then [reps] timed runs. The GC
+   deltas come from one [Gc.quick_stat] sandwich around the whole
+   timed loop — words and collections are reported per rep, so they
+   are comparable across entries with different [reps]. With
+   [~percentiles:true] each rep is also timed individually for a
+   nearest-rank p99 (latency entries: the tail is the figure that
+   matters, the mean hides it). *)
+let measure ?(percentiles = false) ~reps f =
   ignore (Sys.opaque_identity (f ()));
+  (* flush the previous entry's garbage: without this an entry pays
+     major-GC slices for its predecessor's allocation, and its wall
+     time depends on where it sits in the sweep *)
+  Gc.full_major ();
+  let samples = if percentiles then Array.make reps 0. else [||] in
+  (* [Gc.counters] reads the live allocation pointers; [quick_stat]'s
+     word fields only refresh at collection points, so a loop that
+     triggers no minor GC (the arena paths) would read as zero *)
+  let mw0, _, jw0 = Gc.counters () in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
-  for _ = 1 to reps do
-    ignore (Sys.opaque_identity (f ()))
+  for i = 0 to reps - 1 do
+    if percentiles then begin
+      let s0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      samples.(i) <- (Unix.gettimeofday () -. s0) *. 1000.
+    end
+    else ignore (Sys.opaque_identity (f ()))
   done;
-  (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
+  let t1 = Unix.gettimeofday () in
+  let g1 = Gc.quick_stat () in
+  let mw1, _, jw1 = Gc.counters () in
+  let fr = float_of_int reps in
+  let p99 =
+    if not percentiles then None
+    else begin
+      Array.sort compare samples;
+      let rank = int_of_float (ceil (0.99 *. fr)) in
+      Some samples.(max 0 (min (reps - 1) (rank - 1)))
+    end
+  in
+  ( (t1 -. t0) *. 1000. /. fr,
+    p99,
+    (mw1 -. mw0) /. fr,
+    (jw1 -. jw0) /. fr,
+    float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections) /. fr,
+    float_of_int (g1.Gc.major_collections - g0.Gc.major_collections) /. fr )
 
 let cache_totals () =
   List.fold_left
@@ -40,13 +83,17 @@ let cache_totals () =
       (h + s.Cache.hits, m + s.Cache.misses, e + s.Cache.evictions))
     (0, 0, 0) (Cache.all_stats ())
 
-let entry ~name ~n ~reps ~facets f =
+let entry ?percentiles ~name ~n ~reps ~facets f =
   let h0, m0, e0 = cache_totals () in
-  let wall_ms = time_ms ~reps f in
+  let wall_ms, p99_ms, minor_words, major_words, minor_collections,
+      major_collections =
+    measure ?percentiles ~reps f
+  in
   let h1, m1, e1 = cache_totals () in
   {
-    name; n; wall_ms;
+    name; n; wall_ms; p99_ms;
     facets = facets ();
+    minor_words; major_words; minor_collections; major_collections;
     hits = h1 - h0;
     misses = m1 - m0;
     evictions = e1 - e0;
@@ -138,7 +185,8 @@ let capped_entries () =
 
 (* fact serve, cold vs warm: a cold one-shot pays the full pipeline on
    empty memo tables; a warm served request is a result-cache hit plus
-   one socket round trip *)
+   one socket round trip. The warm entry is per-rep timed: its p99 is
+   the served-latency figure the wire path is judged on. *)
 let serve_entries () =
   let dir =
     let d = Filename.temp_file "fact-bench-serve" "" in
@@ -164,33 +212,19 @@ let serve_entries () =
   Fun.protect ~finally:cleanup (fun () ->
       let q = Query.Ra { n = 3; adv = Query.Preset "wait-free" } in
       let cold =
-        let reps = 3 in
-        let h0, m0, e0 = cache_totals () in
-        let t0 = Unix.gettimeofday () in
-        for _ = 1 to reps do
-          Cache.clear_all ();
-          ignore (Sys.opaque_identity (Query.eval q))
-        done;
-        let wall_ms =
-          (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps
-        in
-        let h1, m1, e1 = cache_totals () in
-        {
-          name = "serve_ra_cold_oneshot"; n = 3; wall_ms; facets = 169;
-          hits = h1 - h0; misses = m1 - m0; evictions = e1 - e0;
-        }
+        entry ~name:"serve_ra_cold_oneshot" ~n:3 ~reps:3
+          ~facets:(fun () -> 169)
+          (fun () ->
+            Cache.clear_all ();
+            Query.eval q)
       in
       Client.with_connection (Listener.Unix_sock sock) (fun c ->
           ignore (Client.query c q);
-          let h0, m0, e0 = cache_totals () in
-          let wall_ms = time_ms ~reps:50 (fun () -> Client.query c q) in
-          let h1, m1, e1 = cache_totals () in
           [
             cold;
-            {
-              name = "serve_ra_warm"; n = 3; wall_ms; facets = 169;
-              hits = h1 - h0; misses = m1 - m0; evictions = e1 - e0;
-            };
+            entry ~percentiles:true ~name:"serve_ra_warm" ~n:3 ~reps:200
+              ~facets:(fun () -> 169)
+              (fun () -> Client.query c q);
           ]))
 
 (* advertised names, execution order; groups share setup *)
@@ -209,39 +243,134 @@ let groups :
 
 let names = List.concat_map fst (Lazy.force groups)
 
-let matches filter name =
-  match filter with
-  | None -> true
-  | Some f ->
-    let fl = String.lowercase_ascii f and nl = String.lowercase_ascii name in
-    let n = String.length nl and m = String.length fl in
-    let rec go i =
-      i + m <= n && (String.sub nl i m = fl || go (i + 1))
-    in
-    m = 0 || go 0
+let matches_one f name =
+  let fl = String.lowercase_ascii f and nl = String.lowercase_ascii name in
+  let n = String.length nl and m = String.length fl in
+  let rec go i = i + m <= n && (String.sub nl i m = fl || go (i + 1)) in
+  m = 0 || go 0
 
-let run ?filter () =
-  (match filter with
-  | Some f when not (List.exists (matches (Some f)) names) ->
-    Fact_error.precondition ~fn:"Bench_entries.run"
-      (Printf.sprintf "--filter %S matches no entry (entries: %s)" f
-         (String.concat " " (List.sort_uniq compare names)))
-  | _ -> ());
+let matches filters name =
+  filters = [] || List.exists (fun f -> matches_one f name) filters
+
+let run ?(filters = []) () =
+  List.iter
+    (fun f ->
+      if not (List.exists (matches_one f) names) then
+        Fact_error.precondition ~fn:"Bench_entries.run"
+          (Printf.sprintf "--filter %S matches no entry (entries: %s)" f
+             (String.concat " " (List.sort_uniq compare names))))
+    filters;
   Cache.reset_counters ();
   List.concat_map
     (fun (group_names, run_group) ->
-      if List.exists (matches filter) group_names then
-        List.filter (fun r -> matches filter r.name) (run_group ())
+      if List.exists (matches filters) group_names then
+        List.filter (fun r -> matches filters r.name) (run_group ())
       else [])
     (Lazy.force groups)
 
 let line r =
   Printf.sprintf
-    "%-18s n=%d %10.3f ms  facets=%d  cache hits+%d misses+%d evictions+%d"
-    r.name r.n r.wall_ms r.facets r.hits r.misses r.evictions
+    "%-18s n=%d %10.3f ms%s  facets=%d  gc minor=%.0fw major=%.0fw \
+     cols=%.1f/%.1f  cache hits+%d misses+%d evictions+%d"
+    r.name r.n r.wall_ms
+    (match r.p99_ms with
+    | None -> ""
+    | Some p -> Printf.sprintf " (p99 %.3f ms)" p)
+    r.facets r.minor_words r.major_words r.minor_collections
+    r.major_collections r.hits r.misses r.evictions
 
 let json_line r =
   Printf.sprintf
-    "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, \"facets\": %d, \
+    "  {\"name\": \"%s\", \"n\": %d, \"wall_ms\": %.3f, %s\"facets\": %d, \
+     \"gc_delta\": {\"minor_words\": %.0f, \"major_words\": %.0f, \
+     \"minor_collections\": %.2f, \"major_collections\": %.2f}, \
      \"cache_delta\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}}"
-    r.name r.n r.wall_ms r.facets r.hits r.misses r.evictions
+    r.name r.n r.wall_ms
+    (match r.p99_ms with
+    | None -> ""
+    | Some p -> Printf.sprintf "\"p99_ms\": %.3f, " p)
+    r.facets r.minor_words r.major_words r.minor_collections
+    r.major_collections r.hits r.misses r.evictions
+
+(* ------------------------------- gate ------------------------------ *)
+
+(* The baseline is a committed BENCH_topology.json: one entry object
+   per line, scanned with the same field extractors the campaign gate
+   uses (Report.str_field / num_field) — entry lines are the ones that
+   carry both a name and a wall_ms, which skips the cache trailer. *)
+
+type baseline_entry = {
+  b_name : string;
+  b_n : int;
+  b_wall_ms : float;
+  b_minor_words : float option;
+}
+
+let parse_baseline contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun l ->
+         match (Report.str_field l "name", Report.num_field l "wall_ms") with
+         | Some b_name, Some b_wall_ms ->
+           Some
+             {
+               b_name;
+               b_n =
+                 (match Report.num_field l "n" with
+                 | Some n -> int_of_float n
+                 | None -> 0);
+               b_wall_ms;
+               b_minor_words = Report.num_field l "minor_words";
+             }
+         | _ -> None)
+
+(* The gate is keyed on the {e current} results: a filtered run gates
+   only the entries it ran (CI pins coverage on the command line), and
+   a result with no baseline line fails — adding an entry means
+   refreshing the baseline in the same change. *)
+let gate ?(tolerance = 4.0) ?(slack_ms = 50.) ?(alloc_tolerance = 2.0)
+    ?(slack_words = 50_000.) ~baseline results =
+  let entries = parse_baseline baseline in
+  if entries = [] then Error [ "gate: baseline contains no entries" ]
+  else if results = [] then Error [ "gate: no results to gate" ]
+  else begin
+    let violations =
+      List.concat_map
+        (fun r ->
+          match
+            List.find_opt
+              (fun b -> b.b_name = r.name && b.b_n = r.n)
+              entries
+          with
+          | None ->
+            [ Printf.sprintf
+                "missing: entry %s n=%d has no baseline line (refresh the \
+                 baseline)"
+                r.name r.n ]
+          | Some b ->
+            let slow =
+              let budget = (tolerance *. b.b_wall_ms) +. slack_ms in
+              if r.wall_ms > budget then
+                [ Printf.sprintf
+                    "slow: %s n=%d took %.3f ms, budget %.3f ms (%.3f ms \
+                     baseline x %.1f + %.0f ms slack)"
+                    r.name r.n r.wall_ms budget b.b_wall_ms tolerance slack_ms ]
+              else []
+            in
+            let churny =
+              match b.b_minor_words with
+              | None -> []
+              | Some base ->
+                let budget = (alloc_tolerance *. base) +. slack_words in
+                if r.minor_words > budget then
+                  [ Printf.sprintf
+                      "alloc: %s n=%d allocated %.0f minor words/rep, budget \
+                       %.0f (%.0f baseline x %.1f + %.0f slack)"
+                      r.name r.n r.minor_words budget base alloc_tolerance
+                      slack_words ]
+                else []
+            in
+            slow @ churny)
+        results
+    in
+    if violations = [] then Ok (List.length results) else Error violations
+  end

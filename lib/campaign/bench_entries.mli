@@ -3,8 +3,9 @@
     Extracted from [bench/main.ml] so that [fact bench --filter NAME]
     and CI can run single entries without the whole suite. Each entry
     times a steady-state computation (one warmup run, then the mean of
-    [reps] timed runs) and reports the registry-wide cache-counter
-    delta it caused.
+    [reps] timed runs), reports the GC pressure it caused (one
+    [Gc.quick_stat] sandwich around the timed loop, normalised per
+    rep), and the registry-wide cache-counter delta.
 
     Entries are {b stateful by design}: they share the process-wide
     memo caches, so running a subset produces the same wall numbers
@@ -14,8 +15,15 @@
 type result = {
   name : string;
   n : int;
-  wall_ms : float;
+  wall_ms : float;  (** mean over [reps] *)
+  p99_ms : float option;
+      (** nearest-rank 99th percentile of per-rep times; only latency
+          entries ([serve_ra_warm]) collect per-rep samples *)
   facets : int;  (** the size figure the entry checks (facets, counts, runs) *)
+  minor_words : float;  (** minor-heap words allocated, per rep *)
+  major_words : float;  (** words promoted to / allocated on the major heap, per rep *)
+  minor_collections : float;  (** minor GCs per rep *)
+  major_collections : float;  (** major GC cycles per rep *)
   hits : int;
   misses : int;
   evictions : int;
@@ -25,14 +33,35 @@ val names : string list
 (** Advertised entry names, in execution order (duplicates carry
     different [n]). *)
 
-val run : ?filter:string -> unit -> result list
-(** Run the entries whose name contains [filter] (all of them when
-    omitted), in declared order. Resets the cache counters first.
-    Raises a typed [Precondition] error when [filter] matches
-    nothing. *)
+val run : ?filters:string list -> unit -> result list
+(** Run the entries whose name contains any of [filters]
+    (case-insensitive substrings; all entries when empty or omitted),
+    in declared order. Resets the cache counters first. Raises a typed
+    [Precondition] error naming the valid entries when some filter
+    matches nothing. *)
 
 val line : result -> string
 (** The human-readable ledger line [bench --json] prints. *)
 
 val json_line : result -> string
-(** The [BENCH_topology.json] entry object. *)
+(** The [BENCH_topology.json] entry object (one line). *)
+
+val gate :
+  ?tolerance:float ->
+  ?slack_ms:float ->
+  ?alloc_tolerance:float ->
+  ?slack_words:float ->
+  baseline:string ->
+  result list ->
+  (int, string list) Stdlib.result
+(** Compare results against a committed [BENCH_topology.json]
+    (contents, not path), entry by entry keyed on [(name, n)].
+    A result regresses when its wall time exceeds
+    [tolerance x baseline + slack_ms] (defaults 4.0 / 50 ms, the
+    campaign gate's band) or its per-rep minor allocation exceeds
+    [alloc_tolerance x baseline + slack_words] (defaults 2.0 / 50k
+    words — allocation is deterministic, so the band is tighter).
+    Only the entries actually run are gated: CI pins coverage with
+    [--filter], and an entry absent from the baseline is itself a
+    violation. [Ok n] is the number of entries checked; [Error vs]
+    lists every violation. *)

@@ -48,6 +48,14 @@ val splice : file:string -> t -> unit
     Raises a typed [Precondition] error if the file has a begin marker
     without an end marker. *)
 
+val str_field : string -> string -> string option
+val num_field : string -> string -> float option
+(** [str_field line key] / [num_field line key] extract a ["key": v]
+    field from one line of a JSON table {e this repository wrote}
+    (one object per line, [Printf]-rendered). Not a JSON parser — the
+    shared scanning primitive behind {!gate}, {!trend} and the bench
+    gate ({!Bench_entries.gate}). *)
+
 val gate :
   ?tolerance:float ->
   ?slack_ms:float ->
@@ -61,3 +69,13 @@ val gate :
     current cells pass silently — growing a grid is not a regression.
     [Ok n] reports the number of compared cells; [Error] carries one
     line per violation. *)
+
+val trend : ?format:[ `Md | `Csv ] -> (string * string) list -> string
+(** [trend [(label, contents); ...]] lines the wall-time column of
+    several baseline JSONs up side by side — one [(label, file
+    contents)] pair per snapshot, oldest first. Both baseline dialects
+    are understood: campaign {!to_json} cells (keyed by content
+    digest) and [BENCH_topology.json] entries (keyed by name and [n]).
+    Markdown output appends a trend column, last over first snapshot;
+    CSV emits raw numbers with blanks for entries a snapshot lacks.
+    Raises a typed [Precondition] error for a file with no entries. *)

@@ -44,10 +44,14 @@ let to_string t =
 
 exception Parse of string * int
 
-let of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (msg, !pos)) in
+(* Parse over a slice of [s] without copying it out first — the serve
+   wire path hands in a view of its reusable receive buffer. Offsets
+   in errors are relative to [pos]. Atoms are copied out of [s]
+   ([String.sub] / [Buffer]), so the result never aliases the input. *)
+let of_substring s ~pos:p0 ~len =
+  let n = p0 + len in
+  let pos = ref p0 in
+  let fail msg = raise (Parse (msg, !pos - p0)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
     while
@@ -129,6 +133,8 @@ let of_string s =
   | v -> Ok v
   | exception Parse (msg, at) ->
     Error (Printf.sprintf "%s at offset %d" msg at)
+
+let of_string s = of_substring s ~pos:0 ~len:(String.length s)
 
 let to_atom = function
   | Atom a -> Ok a

@@ -31,6 +31,12 @@ val of_string : string -> (t, string) result
 (** Parses exactly one expression (leading/trailing whitespace
     allowed); [Error msg] names the offset of the first problem. *)
 
+val of_substring : string -> pos:int -> len:int -> (t, string) result
+(** {!of_string} over the slice [s.[pos .. pos+len-1]] — for callers
+    parsing out of a reusable I/O buffer. Atoms are copied out, so the
+    result never aliases the input; error offsets are relative to
+    [pos]. *)
+
 val to_atom : t -> (string, string) result
 val to_int : t -> (int, string) result
 

@@ -2,7 +2,12 @@ open Fact_sexp
 module Fact_error = Fact_resilience.Fact_error
 module Backoff = Fact_resilience.Backoff
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  w : Wire.writer;
+  r : Wire.reader;
+  mutable closed : bool;
+}
 
 let fail what = Fact_error.precondition ~fn:"Client" what
 
@@ -46,7 +51,7 @@ let connect ?timeout_s addr =
        (Printf.sprintf "cannot reach %s: %s"
           (Listener.addr_to_string addr)
           (Unix.error_message err)));
-  { fd; closed = false }
+  { fd; w = Wire.writer fd; r = Wire.reader fd; closed = false }
 
 let close t =
   if not t.closed then begin
@@ -56,10 +61,10 @@ let close t =
 
 let roundtrip t req =
   if t.closed then fail "connection already closed";
-  (try Wire.write_frame t.fd (Sexp.to_string (Wire.request_to_sexp req))
+  (try Wire.write_request t.w req
    with Unix.Unix_error (err, _, _) ->
      gone ("send failed: " ^ Unix.error_message err));
-  match Wire.read_frame ~max_frame:Wire.default_max_frame t.fd with
+  match Wire.read_frame_view t.r ~max_frame:Wire.default_max_frame with
   | Error Wire.Eof -> gone "server closed the connection"
   | Error Wire.Truncated -> gone "truncated reply"
   | Error (Wire.Oversized n) -> fail (Printf.sprintf "oversized reply (%d bytes)" n)
@@ -67,10 +72,10 @@ let roundtrip t req =
     -> gone "receive timed out"
   | exception Unix.Unix_error (err, _, _) ->
     gone ("receive failed: " ^ Unix.error_message err)
-  | Ok raw -> (
+  | Ok (raw, len) -> (
     match
       let ( let* ) r f = Result.bind r f in
-      let* sx = Sexp.of_string raw in
+      let* sx = Sexp.of_substring raw ~pos:0 ~len in
       Wire.response_of_sexp sx
     with
     | Ok resp -> resp

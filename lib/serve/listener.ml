@@ -73,7 +73,7 @@ let initiate_stop t =
 
 (* --------------------------- connections --------------------------- *)
 
-let send fd resp = Wire.write_frame fd (Sexp.to_string (Wire.response_to_sexp resp))
+let send w resp = Wire.write_response w resp
 
 let refuse_parse msg =
   Wire.Refused (Fact_error.Precondition { fn = "Wire.request_of_sexp"; what = msg })
@@ -90,31 +90,35 @@ let handle_request t = function
     | exception (Failure m | Invalid_argument m) ->
       Wire.Refused (Fact_error.Precondition { fn = "Listener.handler"; what = m }))
 
-let rec serve_conn t fd =
-  match Wire.read_frame ~max_frame:t.max_frame fd with
+(* One reused writer and reader per connection: frames render into and
+   land in per-connection buffers, so concurrent connections never
+   share framing state (and cannot interleave partial frames). *)
+let rec serve_conn t w r =
+  match Wire.read_frame_view r ~max_frame:t.max_frame with
   | Error (Wire.Eof | Wire.Truncated) -> ()
   | Error (Wire.Oversized len) ->
     (* past a bad length prefix the stream is garbage: answer, close *)
-    send fd
+    send w
       (Wire.Refused
          (Fact_error.Resource_limit
             { what = "wire frame bytes"; limit = t.max_frame; got = len }))
-  | Ok raw -> (
+  | Ok (raw, len) -> (
     let reply, shutdown_after =
-      match Sexp.of_string raw with
+      match Sexp.of_substring raw ~pos:0 ~len with
       | Error msg -> (refuse_parse msg, false)
       | Ok sx -> (
         match Wire.request_of_sexp sx with
         | Error msg -> (refuse_parse msg, false)
         | Ok req -> (handle_request t req, req = Wire.Shutdown))
     in
-    send fd reply;
-    if shutdown_after then initiate_stop t else serve_conn t fd)
+    send w reply;
+    if shutdown_after then initiate_stop t else serve_conn t w r)
 
 let connection t fd =
   (* a dead client only takes its own thread down: SIGPIPE is ignored,
      so a write to a closed peer raises EPIPE and lands here *)
-  (try serve_conn t fd with Unix.Unix_error _ | Sys_error _ -> ());
+  (try serve_conn t (Wire.writer fd) (Wire.reader fd)
+   with Unix.Unix_error _ | Sys_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =

@@ -260,3 +260,205 @@ let read_frame ~max_frame fd =
       match read_exactly fd len with
       | `Ok buf -> Ok (Bytes.to_string buf)
       | `Eof | `Short -> Error Truncated)
+
+(* --------------------- zero-copy framed I/O ----------------------- *)
+
+(* Per-connection writer: messages render directly into a reused
+   growable buffer starting at offset 4, the length prefix is patched
+   in afterwards, and the frame leaves in one [write]. No [Bytes] is
+   allocated per frame (refusals included), no intermediate sexp
+   string is built, and cached payload bytes are blitted through
+   unescaped when they contain nothing to escape — the emitters below
+   replicate {!Sexp.to_string}'s rendering byte for byte, so the wire
+   format (and [version]) is unchanged. *)
+
+type writer = {
+  wfd : Unix.file_descr;
+  mutable wbuf : Bytes.t;
+  mutable wlen : int;
+}
+
+let writer ?(buf_size = 4096) fd =
+  { wfd = fd; wbuf = Bytes.create (max 64 buf_size); wlen = 0 }
+
+let ensure w extra =
+  let need = w.wlen + extra in
+  let cap = Bytes.length w.wbuf in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < need do
+      cap' := !cap' * 2
+    done;
+    let b = Bytes.create !cap' in
+    Bytes.blit w.wbuf 0 b 0 w.wlen;
+    w.wbuf <- b
+  end
+
+let put_char w c =
+  ensure w 1;
+  Bytes.unsafe_set w.wbuf w.wlen c;
+  w.wlen <- w.wlen + 1
+
+let put_string w s =
+  let l = String.length s in
+  ensure w l;
+  Bytes.blit_string s 0 w.wbuf w.wlen l;
+  w.wlen <- w.wlen + l
+
+(* 0: bare; 1: must be quoted, no escapes needed (single blit between
+   the quotes); 2: quoted with per-char escaping. Mirrors
+   [Sexp.must_quote] and the escape set exactly. *)
+let atom_class s =
+  let n = String.length s in
+  if n = 0 then 1
+  else begin
+    let cls = ref 0 in
+    let i = ref 0 in
+    while !i < n && !cls < 2 do
+      (match String.unsafe_get s !i with
+      | '"' | '\\' | '\n' | '\t' | '\r' -> cls := 2
+      | '(' | ')' | ' ' -> if !cls < 1 then cls := 1
+      | _ -> ());
+      incr i
+    done;
+    !cls
+  end
+
+let put_atom w s =
+  match atom_class s with
+  | 0 -> put_string w s
+  | 1 ->
+    put_char w '"';
+    put_string w s;
+    put_char w '"'
+  | _ ->
+    put_char w '"';
+    String.iter
+      (function
+        | '"' -> put_string w "\\\""
+        | '\\' -> put_string w "\\\\"
+        | '\n' -> put_string w "\\n"
+        | '\t' -> put_string w "\\t"
+        | '\r' -> put_string w "\\r"
+        | c -> put_char w c)
+      s;
+    put_char w '"'
+
+let rec put_sexp w = function
+  | Sexp.Atom s -> put_atom w s
+  | Sexp.List xs ->
+    put_char w '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then put_char w ' ';
+        put_sexp w x)
+      xs;
+    put_char w ')'
+
+let begin_frame w = w.wlen <- 4
+
+let finish_frame w =
+  Bytes.set_int32_be w.wbuf 0 (Int32.of_int (w.wlen - 4));
+  write_all w.wfd w.wbuf 0 w.wlen
+
+let put_versioned w tag =
+  put_string w "((version ";
+  put_string w (string_of_int version);
+  put_string w ") (request ";
+  put_string w tag
+
+let write_request w req =
+  begin_frame w;
+  (match req with
+  | Query { query; deadline_s } ->
+    put_versioned w "query";
+    put_string w ") (query ";
+    put_sexp w (Query.to_sexp query);
+    (match deadline_s with
+    | None -> ()
+    | Some d ->
+      put_string w ") (deadline-s ";
+      put_string w (Printf.sprintf "%.6f" d));
+    put_string w "))"
+  | Put { query; payload } ->
+    put_versioned w "put";
+    put_string w ") (query ";
+    put_sexp w (Query.to_sexp query);
+    put_string w ") (payload ";
+    put_atom w payload;
+    put_string w "))"
+  | Stats ->
+    put_versioned w "stats";
+    put_string w "))"
+  | Ping ->
+    put_versioned w "ping";
+    put_string w "))"
+  | Shutdown ->
+    put_versioned w "shutdown";
+    put_string w "))");
+  finish_frame w
+
+let write_response w resp =
+  begin_frame w;
+  (match resp with
+  | Payload { payload; source } ->
+    put_string w "(payload (source ";
+    put_string w (source_to_string source);
+    put_string w ") (body ";
+    put_atom w payload;
+    put_string w "))"
+  | Stored { already } ->
+    put_string w
+      (if already then "(stored (already true))"
+       else "(stored (already false))")
+  | Stats_payload s ->
+    put_string w "(stats (body ";
+    put_atom w s;
+    put_string w "))"
+  | Pong -> put_string w "(pong)"
+  | Shutting_down -> put_string w "(shutting-down)"
+  | Refused e ->
+    put_string w "(refused (error ";
+    put_sexp w (error_to_sexp e);
+    put_string w "))");
+  finish_frame w
+
+(* Per-connection reader: frames land in a reused buffer; the payload
+   is handed out as an unsafe string view of that buffer, valid only
+   until the next read on the same reader. {!Sexp.of_substring} copies
+   atoms out, so parsing the view and dropping it is safe. *)
+
+type reader = { rfd : Unix.file_descr; mutable rbuf : Bytes.t }
+
+let reader ?(buf_size = 4096) fd =
+  { rfd = fd; rbuf = Bytes.create (max 16 buf_size) }
+
+let read_exactly_into fd buf ~len =
+  let rec go got =
+    if got >= len then `Ok
+    else
+      match Unix.read fd buf got (len - got) with
+      | 0 -> if got = 0 then `Eof else `Short
+      | n -> go (got + n)
+  in
+  go 0
+
+let read_frame_view r ~max_frame =
+  match read_exactly_into r.rfd r.rbuf ~len:4 with
+  | `Eof -> Error Eof
+  | `Short -> Error Truncated
+  | `Ok -> (
+    let len = Int32.to_int (Bytes.get_int32_be r.rbuf 0) in
+    if len < 0 || len > max_frame then Error (Oversized len)
+    else begin
+      if Bytes.length r.rbuf < len then begin
+        let cap = ref (Bytes.length r.rbuf * 2) in
+        while !cap < len do
+          cap := !cap * 2
+        done;
+        r.rbuf <- Bytes.create !cap
+      end;
+      match read_exactly_into r.rfd r.rbuf ~len with
+      | `Ok -> Ok (Bytes.unsafe_to_string r.rbuf, len)
+      | `Eof | `Short -> Error Truncated
+    end)

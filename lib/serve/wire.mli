@@ -65,8 +65,44 @@ type read_error =
   | Truncated  (** stream ended mid-frame *)
 
 val write_frame : Unix.file_descr -> string -> unit
-(** Raises [Unix.Unix_error] on a broken pipe — callers treat that as
-    a client disconnect, never as a server failure. *)
+(** One frame from an already-rendered payload string (allocates a
+    fresh buffer per call — kept for raw-frame injection in the chaos
+    suite and tests; the serve path uses {!writer}). Raises
+    [Unix.Unix_error] on a broken pipe — callers treat that as a
+    client disconnect, never as a server failure. *)
 
 val read_frame :
   max_frame:int -> Unix.file_descr -> (string, read_error) result
+
+(** {2 Zero-copy framed I/O}
+
+    Per-connection buffered endpoints: messages render directly into a
+    reused growable buffer (length prefix patched in afterwards, one
+    [write] per frame, no per-frame allocation — refusals included),
+    and inbound frames land in a reused receive buffer parsed in
+    place. The rendering is byte-identical to
+    [Sexp.to_string (request_to_sexp _)] /
+    [Sexp.to_string (response_to_sexp _)], so the wire format and
+    {!version} are unchanged. Writers and readers are single-owner:
+    one connection thread each, never shared. *)
+
+type writer
+
+val writer : ?buf_size:int -> Unix.file_descr -> writer
+val write_request : writer -> request -> unit
+val write_response : writer -> response -> unit
+(** Cached payload bytes ([Payload]/[Stats_payload]) are blitted into
+    the frame without re-rendering; escaping is applied only when the
+    payload actually contains a character that needs it. Raise
+    [Unix.Unix_error] like {!write_frame}. *)
+
+type reader
+
+val reader : ?buf_size:int -> Unix.file_descr -> reader
+
+val read_frame_view : reader -> max_frame:int -> (string * int, read_error) result
+(** [Ok (view, len)]: the frame payload occupies [view.[0 .. len-1]].
+    [view] is an {e unsafe view of the reader's reused buffer}, valid
+    only until the next read on the same reader — parse it (e.g. with
+    {!Fact_sexp.Sexp.of_substring}, which copies atoms out) before
+    reading again, and never retain it. *)

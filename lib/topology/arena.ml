@@ -1,0 +1,132 @@
+(* Struct-of-arrays view of a facet list: the sorted interned-id run of
+   every facet concatenated into one flat int array, with an offset
+   table, per-facet color bitmasks, and the facet simplices themselves
+   for materialization. The streaming face kernel walks [vids] run by
+   run — contiguous memory, no hashconsed node or list in the loop —
+   and the only OCaml-heap traffic is the accumulator the caller folds.
+
+   Invariant tying intern ids to arena offsets: facet [i]'s key (its
+   vids sorted ascending) is exactly [vids.(off.(i)) .. vids.(off.(i+1) - 1)],
+   bit [b] of a submask of facet [i] selects [vids.(off.(i) + b)], and
+   [Simplex.select_sorted_mask simp.(i) m] materializes precisely the
+   face whose key the kernel just emitted. *)
+
+type t = {
+  simp : Simplex.t array; (* facets, in the complex's canonical order *)
+  off : int array; (* length nf + 1; run of facet i = [off.(i), off.(i+1)) *)
+  vids : int array; (* concatenated sorted interned-id runs *)
+  colors : Pset.t array; (* per-facet color bitmask *)
+}
+
+let build (simp : Simplex.t array) =
+  let nf = Array.length simp in
+  let off = Array.make (nf + 1) 0 in
+  for i = 0 to nf - 1 do
+    off.(i + 1) <- off.(i) + Simplex.card simp.(i)
+  done;
+  let vids = Array.make (max off.(nf) 1) 0 in
+  let colors = Array.make (max nf 1) Pset.empty in
+  for i = 0 to nf - 1 do
+    let key = Simplex.interned_key simp.(i) in
+    Array.blit key 0 vids off.(i) (Array.length key);
+    colors.(i) <- Simplex.colors simp.(i)
+  done;
+  { simp; off; vids; colors }
+
+let facet_count t = Array.length t.simp
+let facet t i = t.simp.(i)
+let card t i = t.off.(i + 1) - t.off.(i)
+let colors t i = t.colors.(i)
+let total_vids t = t.off.(Array.length t.simp)
+
+(* Popcount of a 16-bit value by table lookup; facet cards are ≤ 62 but
+   in practice tiny, so masks fit 16 bits except in adversarial
+   inputs, which fall back to the bit-clearing loop. *)
+let popc16 =
+  lazy
+    (let b = Bytes.create 65536 in
+     for i = 0 to 65535 do
+       let c = ref 0 and w = ref i in
+       while !w <> 0 do
+         w := !w land (!w - 1);
+         incr c
+       done;
+       Bytes.unsafe_set b i (Char.unsafe_chr !c)
+     done;
+     b)
+
+let popcount_slow m =
+  let c = ref 0 and w = ref m in
+  while !w <> 0 do
+    w := !w land (!w - 1);
+    incr c
+  done;
+  !c
+
+(* Streaming enumeration of the distinct nonempty faces of all facets:
+   every submask of every run, deduped through the shared off-heap
+   [seen] table. Scratch state is hoisted out of the loop and the
+   [face] thunk is a single closure over the current (facet, mask)
+   pair, so a counting fold allocates nothing per face.
+
+   Consequence of the shared thunk: [face] is only meaningful during
+   the callback it was passed to — callers must force it synchronously
+   (all in-tree callers do) rather than stash it for later. *)
+let fold_faces ?(min_card = 1) ?(max_card = max_int) ~seen t ~init ~f =
+  let min_card = max 1 min_card in
+  let nf = Array.length t.simp in
+  let popc = Lazy.force popc16 in
+  let scratch = Array.make 64 0 in
+  let acc = ref init in
+  let cur_fi = ref 0 and cur_m = ref 0 in
+  let face () = Simplex.select_sorted_mask t.simp.(!cur_fi) !cur_m in
+  let vids = t.vids and off = t.off in
+  for fi = 0 to nf - 1 do
+    let base = Array.unsafe_get off fi in
+    let k = Array.unsafe_get off (fi + 1) - base in
+    if k > 0 && min_card <= k then begin
+      let full = (1 lsl k) - 1 in
+      if k <= 4 && Array.unsafe_get vids (base + k - 1) < 0x7fff then
+        (* The run is sorted, so its last vid is the max: every subface
+           of this facet packs into class A. Pack inline while walking
+           the mask bits — no scratch stores, no per-face class
+           dispatch. *)
+        for m = 1 to full do
+          let card = Char.code (Bytes.unsafe_get popc m) in
+          if card >= min_card && card <= max_card then begin
+            let p = ref 0 in
+            for b = 0 to k - 1 do
+              if m land (1 lsl b) <> 0 then
+                p := (!p lsl 15) lor (Array.unsafe_get vids (base + b) + 1)
+            done;
+            if not (Face_set.mem_or_add_packed seen !p) then begin
+              cur_fi := fi;
+              cur_m := m;
+              acc := f !acc ~card ~face
+            end
+          end
+        done
+      else
+        for m = 1 to full do
+          let card =
+            if m < 65536 then Char.code (Bytes.unsafe_get popc m)
+            else popcount_slow m
+          in
+          if card >= min_card && card <= max_card then begin
+            let j = ref 0 in
+            for b = 0 to k - 1 do
+              if m land (1 lsl b) <> 0 then begin
+                Array.unsafe_set scratch !j (Array.unsafe_get vids (base + b));
+                incr j
+              end
+            done;
+            if not (Face_set.mem_or_add seen scratch ~len:card) then begin
+              cur_fi := fi;
+              cur_m := m;
+              acc := f !acc ~card ~face
+            end
+          end
+        done
+    end
+  done;
+  !acc

@@ -1,0 +1,45 @@
+(** Struct-of-arrays facet storage for the streaming face kernels.
+
+    An arena is a flat view of a facet array: all sorted interned-id
+    runs concatenated into one contiguous int array plus offset, color
+    and cardinality tables, alongside the facet simplices themselves
+    for materialization. {!Complex.fold_faces} builds one lazily per
+    complex; the kernel then walks flat memory instead of hashconsed
+    nodes and OCaml lists.
+
+    Invariant: facet [i]'s key occupies
+    [vids.(off.(i)) .. vids.(off.(i+1) - 1)] sorted ascending, so bit
+    [b] of a submask over facet [i] selects the vid at arena offset
+    [off.(i) + b], and {!Simplex.select_sorted_mask} maps the mask back
+    to the interned face. *)
+
+type t
+
+val build : Simplex.t array -> t
+(** Flatten a facet array (in the caller's canonical order — the order
+    fixes enumeration order downstream). The array is captured, not
+    copied; callers must not mutate it afterwards. *)
+
+val facet_count : t -> int
+val facet : t -> int -> Simplex.t
+val card : t -> int -> int
+val colors : t -> int -> Pset.t
+val total_vids : t -> int
+(** Total length of the concatenated id runs. *)
+
+val fold_faces :
+  ?min_card:int ->
+  ?max_card:int ->
+  seen:Face_set.t ->
+  t ->
+  init:'a ->
+  f:('a -> card:int -> face:(unit -> Simplex.t) -> 'a) ->
+  'a
+(** Streaming face enumeration over every facet run: folds [f] over
+    each nonempty face with [min_card ≤ card ≤ max_card] (defaults:
+    all) whose key is not yet in [seen], adding emitted keys to
+    [seen]. Sharing [seen] across calls extends dedup across arenas.
+    [face] is lazy and — unlike a fresh closure per face — shared and
+    rebound between callbacks: force it synchronously inside [f],
+    never stash it. Facets stream in array order; submasks in
+    increasing mask order (so faces of one facet come out grouped). *)

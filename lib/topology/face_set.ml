@@ -1,0 +1,288 @@
+(* Open-addressed set of face keys (sorted interned-id runs) — the
+   dedup state of the streaming closure kernels. Both tables live in
+   [Bigarray] int storage off the OCaml heap: probing never touches a
+   boxed key, inserting never allocates a GC-visible word, and the
+   minor heap stays quiet across millions of candidate faces.
+
+   A face key is packed into a single tagged int whenever the 60-bit
+   budget allows (three disjoint classes, below); everything else goes
+   to a general table whose keys are runs appended to a flat int arena
+   — slot [i] of the general table stores [offset + 1] into the arena
+   ([0] marks a free slot), and the run at [offset] is
+   [len; v_0; …; v_{len-1}]. There are no deletions, hence no
+   tombstones: growth doubles the slot table and re-probes every live
+   entry; the arena itself is append-only and offsets survive rehash
+   unchanged.
+
+   Packed classes (keys are sorted ascending, so [key.(len - 1)] is the
+   max vid; each field stores [vid + 1] so a field is never 0 and the
+   packed value is never 0, the free-slot marker):
+
+   - class A — card ≤ 4, every vid < 0x7fff: four 15-bit fields,
+     value < 2^60. The top field being nonzero recovers the card, so
+     the class is injective.
+   - class C — card = 5, every vid < 0xfff: five 12-bit fields
+     (60 bits) tagged with bit 61.
+   - class B — card = 6, every vid < 0x3ff: six 10-bit fields
+     (60 bits) tagged with bit 60.
+
+   Class A values are < 2^60, class B values have bit 60 and are
+   < 2^61, class C values have bit 61 and are < 2^61 + 2^60 — the
+   ranges are disjoint and all fit a 63-bit OCaml int. Whether a face
+   packs (and into which class) depends only on the face itself, so the
+   packed/general split is consistent across the facets sharing one
+   table. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable ikeys : ba; (* packed faces; 0 marks a free slot *)
+  mutable imask : int;
+  mutable isize : int;
+  mutable gtab : ba; (* general slots: 0 free, else arena offset + 1 *)
+  mutable gmask : int;
+  mutable gsize : int;
+  mutable gdata : ba; (* arena of [len; vids…] runs, append-only *)
+  mutable gfill : int;
+}
+
+(* Allocating a large Bigarray is ~50x the cost of zeroing one (the
+   runtime charges custom-block memory against the major GC), so the
+   backing storage is pooled: [release] parks a table's arrays here and
+   the next [create] of the same capacity refills one with zeros
+   instead of allocating. The pool is global, mutex-protected (creates
+   happen once per closure fold, not per face) and bounded per size
+   class. *)
+let pool : (int, ba list) Hashtbl.t = Hashtbl.create 8
+let pool_lock = Mutex.create ()
+let pool_per_class = 4
+
+let acquire ~zero cap : ba =
+  Mutex.lock pool_lock;
+  let found =
+    match Hashtbl.find_opt pool cap with
+    | Some (ba :: rest) ->
+      Hashtbl.replace pool cap rest;
+      Some ba
+    | Some [] | None -> None
+  in
+  Mutex.unlock pool_lock;
+  match found with
+  | Some ba ->
+    if zero then Bigarray.Array1.fill ba 0;
+    ba
+  | None ->
+    let ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
+    if zero then Bigarray.Array1.fill ba 0;
+    ba
+
+let park (ba : ba) =
+  let cap = Bigarray.Array1.dim ba in
+  Mutex.lock pool_lock;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt pool cap) in
+  if List.length existing < pool_per_class then
+    Hashtbl.replace pool cap (ba :: existing);
+  Mutex.unlock pool_lock
+
+let make_ba cap : ba = acquire ~zero:true cap
+
+let create ?(size = 1024) () =
+  let cap = ref 8 in
+  while !cap < size * 2 do
+    cap := !cap * 2
+  done;
+  {
+    ikeys = make_ba !cap;
+    imask = !cap - 1;
+    isize = 0;
+    gtab = make_ba 16;
+    gmask = 15;
+    gsize = 0;
+    gdata = acquire ~zero:false 64;
+    gfill = 0;
+  }
+
+(* Return the backing storage to the pool. The table must not be used
+   afterwards; callers that hand [t] out (rather than keeping it
+   private to one fold) should simply let the GC reclaim it. *)
+let release t =
+  park t.ikeys;
+  park t.gtab;
+  park t.gdata
+
+let count t = t.isize + t.gsize
+let packed_count t = t.isize
+let heap_count t = t.gsize
+let packed_capacity t = t.imask + 1
+
+let hash_int k =
+  let k = k * 0x3f58476d1ce4e5b9 in
+  (k lxor (k lsr 31)) land max_int
+
+(* Same mix as the simplex structural hash; [get] abstracts over the
+   caller's scratch array vs the arena. *)
+let hash_run_arr (key : int array) ~len =
+  let h = ref 0x5103 in
+  for i = 0 to len - 1 do
+    let k = Array.unsafe_get key i * 0x3f58476d1ce4e5b9 in
+    h := (!h lxor (k lxor (k lsr 31))) * 0x14d049bb133111eb
+  done;
+  (!h lxor (!h lsr 29)) land max_int
+
+let hash_run_ba (data : ba) ~off ~len =
+  let h = ref 0x5103 in
+  for i = 0 to len - 1 do
+    let k = Bigarray.Array1.unsafe_get data (off + i) * 0x3f58476d1ce4e5b9 in
+    h := (!h lxor (k lxor (k lsr 31))) * 0x14d049bb133111eb
+  done;
+  (!h lxor (!h lsr 29)) land max_int
+
+(* ---- packed path ------------------------------------------------- *)
+
+let pack (key : int array) ~len =
+  if len <= 4 then
+    if len > 0 && Array.unsafe_get key (len - 1) < 0x7fff then begin
+      let p = ref 0 in
+      for j = 0 to len - 1 do
+        p := (!p lsl 15) lor (Array.unsafe_get key j + 1)
+      done;
+      !p
+    end
+    else 0
+  else if len = 5 && Array.unsafe_get key 4 < 0xfff then begin
+    let p = ref 0 in
+    for j = 0 to 4 do
+      p := (!p lsl 12) lor (Array.unsafe_get key j + 1)
+    done;
+    !p lor (1 lsl 61)
+  end
+  else if len = 6 && Array.unsafe_get key 5 < 0x3ff then begin
+    let p = ref 0 in
+    for j = 0 to 5 do
+      p := (!p lsl 10) lor (Array.unsafe_get key j + 1)
+    done;
+    !p lor (1 lsl 60)
+  end
+  else 0
+
+let packable ~card ~max_vid =
+  (card >= 1 && card <= 4 && max_vid < 0x7fff)
+  || (card = 5 && max_vid < 0xfff)
+  || (card = 6 && max_vid < 0x3ff)
+
+let grow_packed t =
+  let cap = (t.imask + 1) * 2 in
+  let ikeys = make_ba cap in
+  let mask = cap - 1 in
+  for i = 0 to t.imask do
+    let key = Bigarray.Array1.unsafe_get t.ikeys i in
+    if key <> 0 then begin
+      let j = ref (hash_int key land mask) in
+      while Bigarray.Array1.unsafe_get ikeys !j <> 0 do
+        j := (!j + 1) land mask
+      done;
+      Bigarray.Array1.unsafe_set ikeys !j key
+    end
+  done;
+  park t.ikeys;
+  t.ikeys <- ikeys;
+  t.imask <- mask
+
+(* One probe sequence over the flat int table; [key > 0]. Returns
+   [true] if already present, else inserts and returns [false]. *)
+let mem_or_add_packed t key =
+  if 3 * t.isize >= 2 * (t.imask + 1) then grow_packed t;
+  let ikeys = t.ikeys and mask = t.imask in
+  let i = ref (hash_int key land mask) in
+  let verdict = ref (-1) in
+  while !verdict < 0 do
+    let slot = Bigarray.Array1.unsafe_get ikeys !i in
+    if slot = 0 then begin
+      Bigarray.Array1.unsafe_set ikeys !i key;
+      t.isize <- t.isize + 1;
+      verdict := 0
+    end
+    else if slot = key then verdict := 1
+    else i := (!i + 1) land mask
+  done;
+  !verdict = 1
+
+(* ---- general path ------------------------------------------------ *)
+
+let grow_gtab t =
+  let cap = (t.gmask + 1) * 2 in
+  let gtab = make_ba cap in
+  let mask = cap - 1 in
+  for i = 0 to t.gmask do
+    let slot = Bigarray.Array1.unsafe_get t.gtab i in
+    if slot <> 0 then begin
+      let off = slot - 1 in
+      let len = Bigarray.Array1.unsafe_get t.gdata off in
+      let j = ref (hash_run_ba t.gdata ~off:(off + 1) ~len land mask) in
+      while Bigarray.Array1.unsafe_get gtab !j <> 0 do
+        j := (!j + 1) land mask
+      done;
+      Bigarray.Array1.unsafe_set gtab !j slot
+    end
+  done;
+  park t.gtab;
+  t.gtab <- gtab;
+  t.gmask <- mask
+
+let ensure_gdata t extra =
+  let need = t.gfill + extra in
+  let cap = Bigarray.Array1.dim t.gdata in
+  if need > cap then begin
+    let cap' = ref (cap * 2) in
+    while !cap' < need do
+      cap' := !cap' * 2
+    done;
+    let gdata = acquire ~zero:false !cap' in
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.gdata 0 t.gfill)
+      (Bigarray.Array1.sub gdata 0 t.gfill);
+    park t.gdata;
+    t.gdata <- gdata
+  end
+
+let run_equal (data : ba) ~off (key : int array) ~len =
+  Bigarray.Array1.unsafe_get data off = len
+  &&
+  let i = ref 0 in
+  while
+    !i < len
+    && Bigarray.Array1.unsafe_get data (off + 1 + !i) = Array.unsafe_get key !i
+  do
+    incr i
+  done;
+  !i = len
+
+let mem_or_add_general t (key : int array) ~len =
+  if 3 * t.gsize >= 2 * (t.gmask + 1) then grow_gtab t;
+  let h = hash_run_arr key ~len in
+  let i = ref (h land t.gmask) in
+  let verdict = ref (-1) in
+  while !verdict < 0 do
+    let slot = Bigarray.Array1.unsafe_get t.gtab !i in
+    if slot = 0 then begin
+      ensure_gdata t (len + 1);
+      let off = t.gfill in
+      Bigarray.Array1.unsafe_set t.gdata off len;
+      for j = 0 to len - 1 do
+        Bigarray.Array1.unsafe_set t.gdata (off + 1 + j) (Array.unsafe_get key j)
+      done;
+      t.gfill <- off + len + 1;
+      Bigarray.Array1.unsafe_set t.gtab !i (off + 1);
+      t.gsize <- t.gsize + 1;
+      verdict := 0
+    end
+    else if run_equal t.gdata ~off:(slot - 1) key ~len then verdict := 1
+    else i := (!i + 1) land t.gmask
+  done;
+  !verdict = 1
+
+(* ---- entry point ------------------------------------------------- *)
+
+let mem_or_add t (key : int array) ~len =
+  let p = pack key ~len in
+  if p <> 0 then mem_or_add_packed t p else mem_or_add_general t key ~len

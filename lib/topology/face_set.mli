@@ -1,0 +1,57 @@
+(** Off-heap dedup set of face keys (sorted interned-id runs).
+
+    The mutable state threaded through the streaming closure kernels
+    ({!Arena.fold_faces}, {!Simplex.fold_distinct_faces}). Both backing
+    tables are [Bigarray] int storage outside the OCaml heap: probing
+    touches no boxed key and inserting allocates no GC-visible word.
+    Faces whose sorted key fits the 60-bit packing budget (card ≤ 4
+    with vids < 0x7fff, card 5 with vids < 0xfff, card 6 with vids
+    < 0x3ff) dedup through a flat packed-int table; everything else
+    through a general table whose keys live in an append-only int
+    arena. No deletions, hence no tombstones; growth rehashes slots
+    only, never moves arena runs. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] is the expected number of distinct faces (the packed table
+    starts at twice that, rounded up to a power of two with a minimum
+    of 8, and grows as needed). The general table always starts tiny
+    and grows on demand. *)
+
+val release : t -> unit
+(** Return the backing storage to an internal pool so the next
+    {!create} of the same capacity reuses it (zeroing is ~50x cheaper
+    than allocating a large Bigarray). The table must not be used
+    after release; callers that shared the table should skip this and
+    let the GC reclaim it. *)
+
+val mem_or_add : t -> int array -> len:int -> bool
+(** [mem_or_add t key ~len]: one hash-and-probe over
+    [key.(0 .. len - 1)], which must be sorted ascending and have
+    [len ≥ 1]. Returns [true] if the run is already present; otherwise
+    records it (copying out of the caller's scratch buffer) and
+    returns [false]. *)
+
+val mem_or_add_packed : t -> int -> bool
+(** Direct probe with an already-packed key ([> 0]) — for callers that
+    pack inline. The packing must agree with {!mem_or_add}'s. *)
+
+val pack : int array -> len:int -> int
+(** The packed representation of a sorted run, or [0] if the run does
+    not fit any packed class. Injective over packable runs. *)
+
+val packable : card:int -> max_vid:int -> bool
+(** Whether a face of [card] vertices with maximum vid [max_vid] packs
+    (keys are sorted, so the max vid decides). *)
+
+val count : t -> int
+(** Number of distinct runs recorded. *)
+
+val packed_count : t -> int
+val heap_count : t -> int
+(** Split of {!count} between the packed table and the general
+    (arena-backed) table. *)
+
+val packed_capacity : t -> int
+(** Current slot count of the packed table — exposed for growth tests. *)

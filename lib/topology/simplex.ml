@@ -8,6 +8,10 @@
      representation. Two simplices are equal iff their keys are equal,
      and subset/mem/inter/diff are merge-walks and binary searches over
      int arrays;
+   - [perm]: the argsort realizing [key] from [info]
+     ([key.(i) = info.(perm.(i)).vid]), computed once so mask-indexed
+     face selection ({!select_sorted_mask}, the arena kernel) needs no
+     per-call sort;
    - [colors]: the color bitmask, [base]: the base carrier, both O(1);
    - [shash]: a full-depth structural hash combining the vertex hashes
      in sorted order. It is deterministic (independent of intern
@@ -27,6 +31,7 @@ type t = {
   varr : Vertex.t array; (* same, for indexed access *)
   info : vinfo array; (* aligned with varr *)
   key : int array; (* vids sorted ascending *)
+  perm : int array; (* key.(i) = info.(perm.(i)).vid *)
   colors : Pset.t;
   base : Pset.t;
   shash : int;
@@ -42,15 +47,20 @@ let hash_of_info info =
   Array.fold_left (fun h i -> mix h i.vhash) 0x5103 info
 
 (* Build a simplex from already-interned, already-sorted vertices. *)
+let key_perm info =
+  let k = Array.length info in
+  let perm = Array.init k (fun i -> i) in
+  Array.sort (fun a b -> Stdlib.compare info.(a).vid info.(b).vid) perm;
+  (Array.map (fun p -> info.(p).vid) perm, perm)
+
 let of_sorted verts info =
   let varr = Array.of_list verts in
-  let key = Array.map (fun i -> i.vid) info in
-  Array.sort Stdlib.compare key;
+  let key, perm = key_perm info in
   let colors =
     Array.fold_left (fun c v -> Pset.add (Vertex.proc v) c) Pset.empty varr
   in
   let base = Array.fold_left (fun b i -> Pset.union b i.vbc) Pset.empty info in
-  { verts; varr; info; key; colors; base; shash = hash_of_info info }
+  { verts; varr; info; key; perm; colors; base; shash = hash_of_info info }
 
 let empty =
   {
@@ -58,6 +68,7 @@ let empty =
     varr = [||];
     info = [||];
     key = [||];
+    perm = [||];
     colors = Pset.empty;
     base = Pset.empty;
     shash = 0x5103;
@@ -197,8 +208,7 @@ let select t keep =
           incr j
         end)
       keep;
-    let key = Array.map (fun i -> i.vid) info in
-    Array.sort Stdlib.compare key;
+    let key, perm = key_perm info in
     let colors =
       Array.fold_left (fun c v -> Pset.add (Vertex.proc v) c) Pset.empty varr
     in
@@ -210,6 +220,7 @@ let select t keep =
       varr;
       info;
       key;
+      perm;
       colors;
       base;
       shash = hash_of_info info;
@@ -266,159 +277,43 @@ let subsimplices t =
 
 let faces_raw t = List.filter (fun f -> not (is_empty f)) (subsimplices t)
 
-(* Open-addressed set of interned-id keys (sorted int arrays) — the
-   dedup state of {!fold_distinct_faces}. Linear probing over a
-   power-of-two table, growing at 2/3 load. [mem_or_add] does the one
-   hash-and-scan the hot counting loop needs; a generic [Hashtbl]
-   would hash twice per new key (mem + add), box a bucket per insert,
-   and rehash everything on each of its growth steps. Keys are never
-   empty (faces have card ≥ 1), so [[||]] marks a free slot. *)
-module Face_set = struct
-  (* Faces of card ≤ 4 whose vids all fit 15 bits — in practice,
-     essentially all of them — pack into a single positive int (four
-     15-bit [vid + 1] fields), deduped through a flat int table: one
-     cache line per probe, no pointer chasing, no allocation. The rare
-     general face (card > 4 or a vid ≥ 0x7fff) falls back to the array
-     table. Whether a face packs depends only on the face itself, so
-     the split is consistent across the facets that share [t]. *)
-  type t = {
-    mutable ikeys : int array; (* packed faces; 0 marks a free slot *)
-    mutable imask : int;
-    mutable isize : int;
-    mutable keys : int array array; (* general faces; [||] free *)
-    mutable mask : int;
-    mutable size : int;
-  }
+let interned_key t = t.key
 
-  let hash_int k =
-    let k = k * 0x3f58476d1ce4e5b9 in
-    (k lxor (k lsr 31)) land max_int
-
-  let hash_key key =
-    let h = ref 0x5103 in
-    for i = 0 to Array.length key - 1 do
-      let k = key.(i) * 0x3f58476d1ce4e5b9 in
-      h := (!h lxor (k lxor (k lsr 31))) * 0x14d049bb133111eb
+(* The face selected by a bitmask over key positions: bit [b] keeps the
+   vertex holding the b-th smallest vid. The stored [perm] maps key
+   positions back to vertex-array indices, so no sort happens here —
+   this is the materialization step of the arena kernel. *)
+let select_sorted_mask t m =
+  let k = Array.length t.varr in
+  if m = (1 lsl k) - 1 then t
+  else begin
+    let keep = Array.make k false in
+    for b = 0 to k - 1 do
+      if m land (1 lsl b) <> 0 then keep.(t.perm.(b)) <- true
     done;
-    (!h lxor (!h lsr 29)) land max_int
-
-  let key_equal a b =
-    let la = Array.length a in
-    la = Array.length b
-    &&
-    let i = ref 0 in
-    while !i < la && a.(!i) = b.(!i) do
-      incr i
-    done;
-    !i = la
-
-  let create ?(size = 1024) () =
-    let cap = ref 16 in
-    while !cap < size * 2 do
-      cap := !cap * 2
-    done;
-    {
-      ikeys = Array.make !cap 0;
-      imask = !cap - 1;
-      isize = 0;
-      keys = Array.make 16 [||];
-      mask = 15;
-      size = 0;
-    }
-
-  let grow_int t =
-    let cap = (t.imask + 1) * 2 in
-    let ikeys = Array.make cap 0 in
-    let mask = cap - 1 in
-    Array.iter
-      (fun key ->
-        if key <> 0 then begin
-          let i = ref (hash_int key land mask) in
-          while ikeys.(!i) <> 0 do
-            i := (!i + 1) land mask
-          done;
-          ikeys.(!i) <- key
-        end)
-      t.ikeys;
-    t.ikeys <- ikeys;
-    t.imask <- mask
-
-  let grow t =
-    let cap = (t.mask + 1) * 2 in
-    let keys = Array.make cap [||] in
-    let mask = cap - 1 in
-    Array.iter
-      (fun key ->
-        if Array.length key <> 0 then begin
-          let i = ref (hash_key key land mask) in
-          while Array.length keys.(!i) <> 0 do
-            i := (!i + 1) land mask
-          done;
-          keys.(!i) <- key
-        end)
-      t.keys;
-    t.keys <- keys;
-    t.mask <- mask
-
-  (* One probe sequence over the flat int table; [key > 0]. *)
-  let mem_or_add_packed t key =
-    if 3 * t.isize >= 2 * (t.imask + 1) then grow_int t;
-    let i = ref (hash_int key land t.imask) in
-    let verdict = ref (-1) in
-    while !verdict < 0 do
-      let slot = t.ikeys.(!i) in
-      if slot = 0 then begin
-        t.ikeys.(!i) <- key;
-        t.isize <- t.isize + 1;
-        verdict := 0
-      end
-      else if slot = key then verdict := 1
-      else i := (!i + 1) land t.imask
-    done;
-    !verdict = 1
-
-  (* One probe sequence: [true] if [key] is already present; otherwise
-     insert [copy ()] (the caller's scratch buffer, copied only on
-     actual insertion) and return [false]. *)
-  let mem_or_add t key ~copy =
-    if 3 * t.size >= 2 * (t.mask + 1) then grow t;
-    let i = ref (hash_key key land t.mask) in
-    let verdict = ref (-1) in
-    while !verdict < 0 do
-      let slot = t.keys.(!i) in
-      if Array.length slot = 0 then begin
-        t.keys.(!i) <- copy ();
-        t.size <- t.size + 1;
-        verdict := 0
-      end
-      else if key_equal slot key then verdict := 1
-      else i := (!i + 1) land t.mask
-    done;
-    !verdict = 1
-end
+    select t keep
+  end
 
 (* Streaming enumeration of distinct nonempty faces across many
    simplices: walk every submask of [t]'s vertices, identify each
    candidate face by its sorted vid key, and hand the unseen ones to
    [f] — no intermediate simplex lists, and no simplex construction at
    all unless the caller forces [face]. The caller-supplied [seen] set
-   is the dedup state; sharing it across the facets of a complex makes
-   a face common to several facets come out exactly once.
+   is the off-heap dedup state ({!Face_set}); sharing it across the
+   facets of a complex makes a face common to several facets come out
+   exactly once. (Whole-complex streaming goes through [Arena], which
+   runs this same walk over flat concatenated runs.)
 
    [t.key] is already the vids sorted ascending, so emitting a
    submask's vids in key order yields the face's canonical key with no
-   per-face sort; [perm] maps key positions back to vertex-array
-   indices for [select]. *)
+   per-face sort. *)
 let fold_distinct_faces ~seen ?(min_card = 1) ?(max_card = max_int) t ~init ~f
     =
   let k = Array.length t.varr in
   let min_card = max 1 min_card in
   if k = 0 || min_card > k || max_card < min_card then init
   else begin
-    let perm = Array.init k (fun i -> i) in
-    Array.sort (fun a b -> Stdlib.compare t.info.(a).vid t.info.(b).vid) perm;
-    (* one scratch key per cardinality, copied only on insertion *)
-    let scratch = Array.init (k + 1) (fun c -> Array.make (max c 1) 0) in
+    let scratch = Array.make k 0 in
     let acc = ref init in
     for m = 1 to (1 lsl k) - 1 do
       let card =
@@ -430,38 +325,15 @@ let fold_distinct_faces ~seen ?(min_card = 1) ?(max_card = max_int) t ~init ~f
         !c
       in
       if card >= min_card && card <= max_card then begin
-        let key = scratch.(card) in
         let j = ref 0 in
         for b = 0 to k - 1 do
           if m land (1 lsl b) <> 0 then begin
-            key.(!j) <- t.key.(b);
+            scratch.(!j) <- t.key.(b);
             incr j
           end
         done;
-        (* [key] is sorted ascending, so [key.(card - 1)] is the max
-           vid: the packability test depends only on the face. *)
-        let fresh =
-          if card <= 4 && key.(card - 1) < 0x7fff then begin
-            let p = ref 0 in
-            for j = 0 to card - 1 do
-              p := (!p lsl 15) lor (key.(j) + 1)
-            done;
-            not (Face_set.mem_or_add_packed seen !p)
-          end
-          else
-            not (Face_set.mem_or_add seen key ~copy:(fun () -> Array.copy key))
-        in
-        if fresh then begin
-          let face () =
-            if card = k then t
-            else begin
-              let keep = Array.make k false in
-              for b = 0 to k - 1 do
-                if m land (1 lsl b) <> 0 then keep.(perm.(b)) <- true
-              done;
-              select t keep
-            end
-          in
+        if not (Face_set.mem_or_add seen scratch ~len:card) then begin
+          let face () = select_sorted_mask t m in
           acc := f !acc ~card ~face
         end
       end

@@ -70,18 +70,15 @@ val proper_faces : t -> t list
 val subsimplices : t -> t list
 (** All faces including the empty one (first). *)
 
-module Face_set : sig
-  type t
-  (** Mutable set of face keys (sorted interned-id arrays): the dedup
-      state threaded through {!fold_distinct_faces}. Open-addressed,
-      single hash-and-probe per candidate — the hot loop of the
-      streaming closure kernels. *)
+val interned_key : t -> int array
+(** The sorted interned-id key — the canonical set representation.
+    The physical array; callers must not mutate it. *)
 
-  val create : ?size:int -> unit -> t
-  (** [size] is the expected number of distinct faces (the table
-      starts at twice that, rounded up to a power of two, and grows as
-      needed). *)
-end
+val select_sorted_mask : t -> int -> t
+(** [select_sorted_mask t m]: the face selected by bitmask [m] over
+    key positions — bit [b] keeps the vertex holding the b-th smallest
+    vid of [t]. The materialization step of the arena kernel; O(k),
+    no sorting. *)
 
 val fold_distinct_faces :
   seen:Face_set.t ->

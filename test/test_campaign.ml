@@ -267,6 +267,97 @@ let test_splice_idempotent () =
         (String.length first >= 5 && String.sub first 0 5 = "# Exp"))
 
 (* ------------------------------------------------------------------ *)
+(* Bench gate + trend                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic bench results: gating never runs the real entries. *)
+let bench_result ?p99_ms ~name ~n ~wall_ms ~minor_words () =
+  {
+    Bench_entries.name; n; wall_ms; p99_ms; facets = 1;
+    minor_words; major_words = 0.; minor_collections = 0.;
+    major_collections = 0.; hits = 0; misses = 0; evictions = 0;
+  }
+
+let test_bench_gate () =
+  let r = bench_result ~name:"e1" ~n:3 ~wall_ms:1.0 ~minor_words:1000. () in
+  let baseline =
+    "{\"entries\": [\n"
+    ^ Bench_entries.json_line r
+    ^ "\n], \"caches\": [\n"
+    ^ "  {\"name\": \"some.cache\", \"hits\": 1, \"misses\": 2, \
+       \"evictions\": 0, \"size\": 1, \"cap\": 4}\n" ^ "]}\n"
+  in
+  (match Bench_entries.gate ~baseline [ r ] with
+  | Ok n -> check "gate passes own baseline" 1 n
+  | Error vs -> Alcotest.failf "unexpected gate failure: %s" (List.hd vs));
+  (* wall-time regression *)
+  let slow = { r with Bench_entries.wall_ms = 500. } in
+  (match Bench_entries.gate ~tolerance:2.0 ~slack_ms:5. ~baseline [ slow ] with
+  | Ok _ -> Alcotest.fail "slow gate should fail"
+  | Error vs ->
+    check_bool "slow violation" true
+      (List.exists (fun v -> String.sub v 0 4 = "slow") vs));
+  (* allocation regression, wall time unchanged *)
+  let churny = { r with Bench_entries.minor_words = 1_000_000. } in
+  (match
+     Bench_entries.gate ~alloc_tolerance:2.0 ~slack_words:100. ~baseline
+       [ churny ]
+   with
+  | Ok _ -> Alcotest.fail "alloc gate should fail"
+  | Error vs ->
+    check_bool "alloc violation" true
+      (List.exists (fun v -> String.sub v 0 5 = "alloc") vs));
+  (* an entry the baseline does not know is a violation, not a pass *)
+  let unknown = bench_result ~name:"new" ~n:1 ~wall_ms:1. ~minor_words:1. () in
+  (match Bench_entries.gate ~baseline [ r; unknown ] with
+  | Ok _ -> Alcotest.fail "unknown-entry gate should fail"
+  | Error vs ->
+    check_bool "missing violation" true
+      (List.exists (fun v -> String.sub v 0 7 = "missing") vs));
+  (* cache-trailer lines (name without wall_ms) are not entries *)
+  match Bench_entries.gate ~baseline:"{\"entries\": []}" [ r ] with
+  | Ok _ -> Alcotest.fail "empty baseline should fail"
+  | Error _ -> ()
+
+let test_trend_table () =
+  let snap label w1 w2 =
+    ( label,
+      "{\"entries\": [\n"
+      ^ Bench_entries.json_line
+          (bench_result ~name:"e1" ~n:3 ~wall_ms:w1 ~minor_words:0. ())
+      ^ ",\n"
+      ^ Bench_entries.json_line
+          (bench_result ~name:"e2" ~n:4 ~wall_ms:w2 ~minor_words:0. ())
+      ^ "\n]}\n" )
+  in
+  let md = Report.trend [ snap "old.json" 10.0 4.0; snap "new.json" 2.5 4.0 ] in
+  let has sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "md has both columns" true
+    (has "old.json" md && has "new.json" md);
+  check_bool "md rows keyed by name+n" true (has "e1 n=3" md && has "e2 n=4" md);
+  check_bool "md trend ratio" true (has "x0.25" md);
+  let csv =
+    Report.trend ~format:`Csv [ snap "a.json" 1.0 2.0; snap "b.json" 3.0 4.0 ]
+  in
+  check_bool "csv header" true (has "entry,a.json,b.json" csv);
+  check_bool "csv row" true (has "e1 n=3,1.000,3.000" csv);
+  (* campaign cells trend too, keyed by digest *)
+  let cell =
+    "{\"digest\": \"abcdef0123456789\", \"endpoint\": \"ra\", \"adversary\": \
+     \"wait-free\", \"n\": 3, \"wall_ms\": 7.5}"
+  in
+  let md2 = Report.trend [ ("c1.json", cell); ("c2.json", cell) ] in
+  check_bool "campaign key" true (has "ra wait-free n=3 abcdef012345" md2);
+  (* a file with no entries is a typed error *)
+  match Report.trend [ ("empty.json", "{}") ] with
+  | exception Fact_resilience.Fact_error.Error _ -> ()
+  | _ -> Alcotest.fail "empty trend input should raise"
+
+(* ------------------------------------------------------------------ *)
 (* Histogram                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -304,6 +395,8 @@ let suite =
     Alcotest.test_case "local vs cluster byte-identical" `Quick
       test_local_cluster_identical;
     Alcotest.test_case "gate pass/fail" `Quick test_gate_pass_and_fail;
+    Alcotest.test_case "bench gate wall + alloc" `Quick test_bench_gate;
+    Alcotest.test_case "trend table md/csv" `Quick test_trend_table;
     Alcotest.test_case "report splice idempotent" `Quick
       test_splice_idempotent;
     Alcotest.test_case "histogram percentiles" `Quick

@@ -652,6 +652,137 @@ let test_cluster_chaos () =
   check_bool "every fault recovered" true (s.Serve_chaos.c_recovered > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Zero-copy wire path                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The buffered writer must emit exactly the bytes the one-shot
+   [Sexp.to_string] rendering produced before it existed: the wire
+   format is versioned, and a quoting difference would split the
+   protocol in two. One writer/reader pair over a socketpair, messages
+   chosen to hit every atom class (bare, quoted-without-escapes,
+   escaped, empty) and to reuse the buffers across frames. *)
+let test_wire_writer_byte_identity () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let w = Wire.writer a and r = Wire.reader b in
+  let recv () =
+    match Wire.read_frame_view r ~max_frame:Wire.default_max_frame with
+    | Ok (raw, len) -> String.sub raw 0 len
+    | Error _ -> Alcotest.fail "frame expected"
+  in
+  let payloads =
+    [
+      "bare-atom_123"; "with space and (parens)"; "esc \"q\" b\\s\nnl\ttab\rcr";
+      ""; String.make 5000 'x' ^ "\"" ^ String.make 5000 'y';
+    ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun rq ->
+          Wire.write_request w rq;
+          check_string "request bytes"
+            (Sexp.to_string (Wire.request_to_sexp rq))
+            (recv ()))
+        [
+          Wire.Query { query = ra2; deadline_s = Some 1.5 };
+          Wire.Query { query = ra2; deadline_s = None };
+          Wire.Put { query = ra2; payload = p };
+          Wire.Stats; Wire.Ping; Wire.Shutdown;
+        ];
+      List.iter
+        (fun resp ->
+          Wire.write_response w resp;
+          check_string "response bytes"
+            (Sexp.to_string (Wire.response_to_sexp resp))
+            (recv ()))
+        [
+          Wire.Payload { payload = p; source = Wire.Computed };
+          Wire.Payload { payload = p; source = Wire.Memory };
+          Wire.Payload { payload = p; source = Wire.Disk };
+          Wire.Stats_payload p;
+          Wire.Pong; Wire.Shutting_down;
+          Wire.Stored { already = true };
+          Wire.Stored { already = false };
+          Wire.Refused (Fact_error.Precondition { fn = "f"; what = p });
+          Wire.Refused
+            (Fact_error.Deadline_exceeded { where = "x"; budget_s = 0.5 });
+          Wire.Refused
+            (Fact_error.Worker_failure
+               { fn = "f"; failed = 1; chunks = 2; first = p });
+          Wire.Refused
+            (Fact_error.Resource_limit { what = "w"; limit = 1; got = 2 });
+          Wire.Refused (Fact_error.Unavailable { what = p });
+          Wire.Refused (Fact_error.Cancelled { where = "x" });
+        ])
+    payloads;
+  (* both framing layers interoperate: writer frames parse under the
+     allocating reader and vice versa *)
+  Wire.write_request w Wire.Ping;
+  (match Wire.read_frame ~max_frame:Wire.default_max_frame b with
+  | Ok s -> check_string "writer -> read_frame" "((version 2) (request ping))" s
+  | Error _ -> Alcotest.fail "frame expected");
+  Wire.write_frame a "((version 2) (request ping))";
+  check_string "write_frame -> reader" "((version 2) (request ping))" (recv ());
+  Unix.close a;
+  Unix.close b
+
+(* Per-connection buffers mean concurrent connections can never
+   interleave partial frames, and the refusal path reuses its scratch
+   instead of allocating per refusal. Eight threads hammer one
+   listener with large echo payloads (distinct per thread) mixed with
+   malformed requests; every reply must come back intact and in
+   request order on its own connection. *)
+let test_concurrent_no_interleave () =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "interleave.sock" in
+  let handler = function
+    | Wire.Put { payload; query = _ } ->
+      Wire.Payload { payload; source = Wire.Computed }
+    | _ -> Wire.Pong
+  in
+  let listener = Listener.start ~handler (Listener.Unix_sock sock) in
+  let errors = ref 0 in
+  let lock = Mutex.create () in
+  let flag () = Mutex.lock lock; incr errors; Mutex.unlock lock in
+  let worker tid =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let w = Wire.writer fd and r = Wire.reader fd in
+    let parse () =
+      match Wire.read_frame_view r ~max_frame:Wire.default_max_frame with
+      | Error _ -> Error "short read"
+      | Ok (raw, len) -> (
+        match Sexp.of_substring raw ~pos:0 ~len with
+        | Error m -> Error m
+        | Ok sx -> Wire.response_of_sexp sx)
+    in
+    for i = 1 to 25 do
+      let payload =
+        Printf.sprintf "t%d:%d:%s" tid i
+          (String.make (2048 + (tid * 131)) (Char.chr (Char.code 'A' + tid)))
+      in
+      Wire.write_request w (Wire.Put { query = ra2; payload });
+      (match parse () with
+      | Ok (Wire.Payload { payload = got; _ }) when got = payload -> ()
+      | _ -> flag ());
+      if i mod 5 = 0 then begin
+        (* well-formed sexp, ill-formed request: a refusal that must
+           not disturb this or any other connection's framing *)
+        Wire.write_frame fd "(not a request)";
+        match parse () with
+        | Ok (Wire.Refused _) -> ()
+        | _ -> flag ()
+      end
+    done;
+    Unix.close fd
+  in
+  let ths = List.init 8 (fun tid -> Thread.create worker tid) in
+  List.iter Thread.join ths;
+  Listener.stop listener;
+  rm_rf dir;
+  check "corrupted or misordered replies" 0 !errors
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -688,4 +819,8 @@ let suite =
       test_loadgen_zero_failures;
     Alcotest.test_case "cluster end-to-end" `Slow test_cluster_e2e;
     Alcotest.test_case "cluster chaos storm" `Slow test_cluster_chaos;
+    Alcotest.test_case "wire writer byte identity" `Quick
+      test_wire_writer_byte_identity;
+    Alcotest.test_case "concurrent connections no interleave" `Quick
+      test_concurrent_no_interleave;
   ]

@@ -288,6 +288,81 @@ let test_streaming_closure_kernel () =
         [ 0; 1; 2 ])
     [ 2; 3 ]
 
+(* ------------------------------------------------------------------ *)
+(* Face_set (off-heap dedup table)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_face_set_packed_boundaries () =
+  (* each packed class's vid budget, straddled: the last packable vid
+     on one side, the first spilling vid (general table) on the other *)
+  List.iter
+    (fun (card, vid) ->
+      check_bool (Printf.sprintf "card %d vid %d packs" card vid) true
+        (Face_set.packable ~card ~max_vid:vid);
+      check_bool (Printf.sprintf "card %d vid %d spills" card (vid + 1)) false
+        (Face_set.packable ~card ~max_vid:(vid + 1));
+      let mk last =
+        Array.init card (fun i -> if i = card - 1 then last else i)
+      in
+      check_bool
+        (Printf.sprintf "pack nonzero (card %d)" card)
+        true
+        (Face_set.pack (mk vid) ~len:card > 0);
+      check (Printf.sprintf "pack zero past limit (card %d)" card) 0
+        (Face_set.pack (mk (vid + 1)) ~len:card))
+    [ (1, 0x7ffe); (4, 0x7ffe); (5, 0xffe); (6, 0x3fe) ];
+  check_bool "card 7 never packs" false (Face_set.packable ~card:7 ~max_vid:0);
+  (* keys on both sides of the boundary coexist, dedup independently,
+     and land in the right table *)
+  let t = Face_set.create ~size:4 () in
+  let k1 = Array.init 4 (fun i -> if i = 3 then 0x7ffe else i) in
+  let k2 = Array.init 4 (fun i -> if i = 3 then 0x7fff else i) in
+  check_bool "fresh packed" false (Face_set.mem_or_add t k1 ~len:4);
+  check_bool "dup packed" true (Face_set.mem_or_add t k1 ~len:4);
+  check_bool "fresh heap" false (Face_set.mem_or_add t k2 ~len:4);
+  check_bool "dup heap" true (Face_set.mem_or_add t k2 ~len:4);
+  check "packed count" 1 (Face_set.packed_count t);
+  check "heap count" 1 (Face_set.heap_count t);
+  check "count" 2 (Face_set.count t);
+  Face_set.release t
+
+let test_face_set_tiny_growth_fuzz () =
+  (* force growth from the smallest capacity through many doublings
+     (no tombstones: every verdict must survive rehashing); a
+     reference Hashtbl adjudicates every fresh/dup answer. Vid ranges
+     straddle all three packed classes and the general table. *)
+  let t = Face_set.create ~size:1 () in
+  let start_cap = Face_set.packed_capacity t in
+  let seen = Hashtbl.create 64 in
+  let state = ref 123456789 in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state mod m
+  in
+  let scratch = Array.make 8 0 in
+  let disagreements = ref 0 in
+  for _ = 1 to 5000 do
+    let card = 1 + rand 8 in
+    let limit = [| 6; 0x7fff + 2; 0xfff + 2; 0x3ff + 2 |].(rand 4) in
+    let v = ref (rand limit) in
+    for i = 0 to card - 1 do
+      scratch.(i) <- !v;
+      v := !v + 1 + rand (max 1 (limit / 8))
+    done;
+    let key = Array.sub scratch 0 card in
+    let dup_ref = Hashtbl.mem seen key in
+    Hashtbl.replace seen key ();
+    if Face_set.mem_or_add t scratch ~len:card <> dup_ref then
+      incr disagreements
+  done;
+  check "verdicts agree with reference" 0 !disagreements;
+  check "count = reference" (Hashtbl.length seen) (Face_set.count t);
+  check "packed + heap = count" (Face_set.count t)
+    (Face_set.packed_count t + Face_set.heap_count t);
+  check_bool "packed table grew" true
+    (Face_set.packed_capacity t > start_cap);
+  Face_set.release t
+
 let test_restrict_colors () =
   (* Chr(∂-face) appears as the restriction of Chr s to the face's
      colors: for a 1-face it is a path of 3 edges (3 facets). *)
@@ -640,6 +715,10 @@ let suite =
     ("restrict to face colors", `Quick, test_restrict_colors);
     ("streaming closure kernel = materialized closure", `Quick,
      test_streaming_closure_kernel);
+    ("face set: packed class boundaries", `Quick,
+     test_face_set_packed_boundaries);
+    ("face set: tiny-capacity growth fuzz", `Quick,
+     test_face_set_tiny_growth_fuzz);
     ("skeleton, star, pure complement", `Quick, test_skeleton_star_pc);
     ("complex mem/union/subcomplex", `Quick, test_complex_mem_union);
     ("simplex duplicate vertex rejected", `Quick, test_simplex_duplicate_vertex);
